@@ -1,0 +1,204 @@
+// Command chicsim runs a single Data Grid simulation and prints its
+// measurements.
+//
+// Example (the paper's Table 1 scenario 1 with the winning pair):
+//
+//	chicsim -es JobDataPresent -ds DataLeastLoaded -bw 10
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"chicsim/internal/core"
+	"chicsim/internal/netsim"
+	"chicsim/internal/report"
+	"chicsim/internal/workload"
+)
+
+func main() {
+	cfg := core.DefaultConfig()
+	flag.Uint64Var(&cfg.Seed, "seed", cfg.Seed, "random seed")
+	flag.IntVar(&cfg.Sites, "sites", cfg.Sites, "number of sites")
+	flag.IntVar(&cfg.Users, "users", cfg.Users, "number of users")
+	flag.IntVar(&cfg.Files, "files", cfg.Files, "number of datasets")
+	flag.IntVar(&cfg.TotalJobs, "jobs", cfg.TotalJobs, "total jobs")
+	flag.IntVar(&cfg.MinCEs, "min-ces", cfg.MinCEs, "min compute elements per site")
+	flag.IntVar(&cfg.MaxCEs, "max-ces", cfg.MaxCEs, "max compute elements per site")
+	flag.IntVar(&cfg.RegionFanout, "fanout", cfg.RegionFanout, "sites per regional center")
+	tiers := flag.String("tiers", "", "comma-separated fanouts for a multi-tier tree (e.g. 2,3,2); product must equal -sites")
+	flag.Float64Var(&cfg.CPUSpreadFrac, "cpu-spread", cfg.CPUSpreadFrac, "per-site CPU speed spread in [0,1) (0 = paper's homogeneous processors)")
+	flag.Float64Var(&cfg.BandwidthMBps, "bw", cfg.BandwidthMBps, "link bandwidth (MB/s)")
+	flag.Float64Var(&cfg.BackboneMBps, "backbone", cfg.BackboneMBps, "backbone link bandwidth (MB/s, 0 = same as -bw)")
+	flag.Float64Var(&cfg.ThinkTimeMean, "think", cfg.ThinkTimeMean, "mean user think time between jobs (s, 0 = paper's immediate resubmission)")
+	flag.Float64Var(&cfg.ArrivalRate, "arrival-rate", cfg.ArrivalRate, "open-model per-user Poisson submission rate (jobs/s, 0 = paper's closed model)")
+	flag.Float64Var(&cfg.StorageGB, "storage", cfg.StorageGB, "per-site storage (GB, <=0 unlimited)")
+	flag.Float64Var(&cfg.GeomP, "geom-p", cfg.GeomP, "geometric popularity parameter")
+	flag.IntVar(&cfg.InputsPerJob, "inputs", cfg.InputsPerJob, "input files per job")
+	flag.Float64Var(&cfg.UserFocus, "user-focus", cfg.UserFocus, "fraction of requests drawn from per-user working sets (0 = paper)")
+	flag.Float64Var(&cfg.OutputFraction, "output", cfg.OutputFraction, "job output size as a fraction of input (0 = paper, costs ignored)")
+	flag.StringVar(&cfg.ES, "es", cfg.ES, "external scheduler algorithm")
+	flag.StringVar(&cfg.BatchES, "batch-es", cfg.BatchES, "use a centralized batch heuristic instead of -es (BatchMinMin, BatchMaxMin, BatchSufferage)")
+	flag.Float64Var(&cfg.BatchWindow, "batch-window", cfg.BatchWindow, "batch scheduling window (s; required with -batch-es)")
+	flag.StringVar(&cfg.LS, "ls", cfg.LS, "local scheduler algorithm")
+	flag.StringVar(&cfg.DS, "ds", cfg.DS, "dataset scheduler algorithm")
+	flag.Float64Var(&cfg.DSInterval, "ds-interval", cfg.DSInterval, "dataset scheduler wake interval (s)")
+	flag.IntVar(&cfg.DSThreshold, "ds-threshold", cfg.DSThreshold, "popularity threshold for replication")
+	flag.IntVar(&cfg.DSDeleteAfter, "ds-delete-after", cfg.DSDeleteAfter, "DS deletes replicas idle for this many windows (0 = LRU only)")
+	flag.Float64Var(&cfg.MaxTime, "max-time", cfg.MaxTime, "abort after this virtual time (0 = none)")
+	flag.Float64Var(&cfg.InfoStaleness, "staleness", cfg.InfoStaleness, "GIS snapshot staleness (s, 0 = oracle)")
+	flag.BoolVar(&cfg.RegionalInfo, "regional-info", cfg.RegionalInfo, "schedulers see only in-region replicas plus masters")
+	maxmin := flag.Bool("maxmin", false, "use max-min fair bandwidth sharing instead of equal share")
+	zipf := flag.Float64("zipf", 0, "use Zipf popularity with this alpha instead of geometric")
+	uniformPop := flag.Bool("uniform-pop", false, "use uniform dataset popularity")
+	mapping := flag.String("mapping", "per-site", "user->ES mapping: per-site, central, per-user")
+	tracePath := flag.String("trace", "", "replay a workload trace file instead of generating")
+	listAlgos := flag.Bool("list", false, "list available algorithms and scenarios, then exit")
+	scenario := flag.String("scenario", "", "start from a named preset (see -list); model flags given before -scenario are ignored")
+	heatmap := flag.Bool("heatmap", false, "render a per-site occupancy heatmap of the run")
+	jsonOut := flag.Bool("json", false, "emit results as JSON instead of text")
+	configPath := flag.String("config", "", "load the model configuration from a JSON file (model flags are then ignored)")
+	saveConfig := flag.String("save-config", "", "write the effective configuration to this file and exit")
+	flag.Parse()
+
+	if *configPath != "" {
+		f, err := os.Open(*configPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "chicsim:", err)
+			os.Exit(1)
+		}
+		cfg, err = core.LoadConfig(f)
+		f.Close()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "chicsim:", err)
+			os.Exit(1)
+		}
+	}
+
+	if *listAlgos {
+		fmt.Println("External schedulers:", core.ExternalNames())
+		fmt.Println("Batch schedulers:   ", core.BatchNames())
+		fmt.Println("Local schedulers:   ", core.LocalNames())
+		fmt.Println("Dataset schedulers: ", core.DatasetNames())
+		fmt.Println("Scenarios:")
+		for _, name := range core.ScenarioNames() {
+			fmt.Printf("  %-18s %s\n", name, core.ScenarioDescription(name))
+		}
+		return
+	}
+	if *scenario != "" {
+		loaded, err := core.Scenario(*scenario)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "chicsim:", err)
+			os.Exit(2)
+		}
+		cfg = loaded
+	}
+	if *maxmin {
+		cfg.Sharing = netsim.MaxMinFair
+	}
+	if *zipf > 0 {
+		cfg.Popularity = workload.Zipf
+		cfg.ZipfAlpha = *zipf
+	}
+	if *uniformPop {
+		cfg.Popularity = workload.Uniform
+	}
+	switch *mapping {
+	case "per-site":
+		cfg.Mapping = core.ESPerSite
+	case "central":
+		cfg.Mapping = core.ESCentral
+	case "per-user":
+		cfg.Mapping = core.ESPerUser
+	default:
+		fmt.Fprintf(os.Stderr, "chicsim: unknown mapping %q\n", *mapping)
+		os.Exit(2)
+	}
+	if *tracePath != "" {
+		f, err := os.Open(*tracePath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "chicsim:", err)
+			os.Exit(1)
+		}
+		w, err := workload.ReadTrace(f)
+		f.Close()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "chicsim:", err)
+			os.Exit(1)
+		}
+		cfg.Trace = w
+	}
+
+	if *saveConfig != "" {
+		f, err := os.Create(*saveConfig)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "chicsim:", err)
+			os.Exit(1)
+		}
+		err = cfg.WriteJSON(f)
+		f.Close()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "chicsim:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "chicsim: wrote configuration to %s\n", *saveConfig)
+		return
+	}
+	if *tiers != "" {
+		cfg.Tiers = nil
+		for _, part := range strings.Split(*tiers, ",") {
+			n, err := strconv.Atoi(strings.TrimSpace(part))
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "chicsim: bad -tiers value %q: %v\n", part, err)
+				os.Exit(2)
+			}
+			cfg.Tiers = append(cfg.Tiers, n)
+		}
+	}
+	if *heatmap {
+		cfg.SampleInterval = 60
+	}
+
+	res, err := core.RunConfig(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "chicsim:", err)
+		os.Exit(1)
+	}
+	if *jsonOut {
+		res.Samples = nil // keep the JSON compact
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(res); err != nil {
+			fmt.Fprintln(os.Stderr, "chicsim:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	printResults(res)
+	if *heatmap {
+		fmt.Println()
+		report.Heatmap(os.Stdout, res.Samples, 100)
+		fmt.Println()
+		report.Timeline(os.Stdout, res.Samples, 100)
+	}
+}
+
+func printResults(r core.Results) {
+	fmt.Printf("scenario: ES=%s LS=%s DS=%s bw=%gMB/s seed=%d\n", r.ES, r.LS, r.DS, r.BandwidthMBps, r.Seed)
+	fmt.Printf("jobs done:             %d (completed=%v)\n", r.JobsDone, r.Completed)
+	fmt.Printf("makespan:              %.0f s\n", r.Makespan)
+	fmt.Printf("avg response time:     %.1f s   (median %.1f, p95 %.1f)\n", r.AvgResponseSec, r.MedResponseSec, r.P95ResponseSec)
+	fmt.Printf("avg queue wait:        %.1f s\n", r.AvgQueueWait)
+	fmt.Printf("avg data moved/job:    %.1f MB  (fetch %.1f + replication %.1f + output %.1f)\n",
+		r.AvgDataPerJobMB, r.FetchMBPerJob, r.ReplMBPerJob, r.OutputMBPerJob)
+	fmt.Printf("processor idle time:   %.1f%%  (over %d CEs)\n", 100*r.IdleFrac, r.TotalCEs)
+	fmt.Printf("fetches:               %d started, cache %d hits / %d misses, %d evictions\n",
+		r.FetchesStarted, r.CacheHits, r.CacheMisses, r.Evictions)
+	fmt.Printf("replications:          %d pushes\n", r.Replications)
+	fmt.Printf("simulation:            %d events, virtual end %.0f s\n", r.SimEvents, r.SimEndTime)
+}

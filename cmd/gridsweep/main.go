@@ -1,0 +1,140 @@
+// Command gridsweep regenerates the paper's evaluation: all 72 experiments
+// (12 ES×DS pairs × 2 bandwidths × 3 seeds) and the tables behind Figures
+// 3a, 3b, 4, and 5.
+//
+// Usage:
+//
+//	gridsweep            # full campaign, all figures
+//	gridsweep -fig 3a    # just one figure's table
+//	gridsweep -csv       # machine-readable rows for plotting
+//	gridsweep -quick     # reduced workload for a fast shape check
+//	gridsweep -list      # print the Table 1 configuration and exit
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"chicsim/internal/core"
+	"chicsim/internal/experiments"
+	"chicsim/internal/report"
+)
+
+func main() {
+	fig := flag.String("fig", "all", "which figure to regenerate: 3a, 3b, 4, 5, all")
+	csv := flag.Bool("csv", false, "emit CSV rows instead of tables")
+	md := flag.Bool("md", false, "emit markdown tables (EXPERIMENTS.md format)")
+	quick := flag.Bool("quick", false, "reduced workload (1500 jobs, 1 seed) for a fast check")
+	seeds := flag.Int("seeds", 3, "seed replications per cell")
+	workers := flag.Int("workers", 0, "parallel simulations (0 = GOMAXPROCS)")
+	list := flag.Bool("list", false, "print the Table 1 configuration and exit")
+	flag.Parse()
+
+	base := core.DefaultConfig()
+	if *list {
+		printTable1(base)
+		return
+	}
+	if *quick {
+		base.TotalJobs = 1500
+		*seeds = 1
+	}
+
+	var seedList []uint64
+	for s := 1; s <= *seeds; s++ {
+		seedList = append(seedList, uint64(s))
+	}
+
+	var cells []experiments.Cell
+	switch *fig {
+	case "3a", "3b", "4":
+		cells = experiments.PaperCells(10)
+	case "5":
+		cells = experiments.Figure5Cells()
+	case "all":
+		cells = append(experiments.PaperCells(10), experiments.PaperCells(100)...)
+	default:
+		fmt.Fprintf(os.Stderr, "gridsweep: unknown figure %q\n", *fig)
+		os.Exit(2)
+	}
+
+	fmt.Fprintf(os.Stderr, "gridsweep: running %d cells × %d seeds (%d simulations)...\n",
+		len(cells), len(seedList), len(cells)*len(seedList))
+	results := experiments.Run(experiments.Campaign{
+		Base:    base,
+		Cells:   cells,
+		Seeds:   seedList,
+		Workers: *workers,
+	})
+	for i := range results {
+		if results[i].Err != nil {
+			fmt.Fprintf(os.Stderr, "gridsweep: %v failed: %v\n", results[i].Cell, results[i].Err)
+		}
+	}
+
+	if *csv {
+		report.CSV(os.Stdout, results)
+		return
+	}
+	esNames := core.PaperExternalNames()
+	dsNames := core.PaperDatasetNames()
+	if *md {
+		for _, fig := range []struct {
+			title string
+			m     report.Metric
+		}{
+			{"Figure 3a", report.ResponseTime},
+			{"Figure 3b", report.DataTransferred},
+			{"Figure 4", report.IdleTime},
+		} {
+			fmt.Printf("### %s\n\n", fig.title)
+			report.MarkdownGrid(os.Stdout, results, fig.m, esNames, dsNames, 10)
+			fmt.Println()
+		}
+		return
+	}
+	switch *fig {
+	case "3a":
+		report.Grid(os.Stdout, results, report.ResponseTime, esNames, dsNames, 10)
+	case "3b":
+		report.Grid(os.Stdout, results, report.DataTransferred, esNames, dsNames, 10)
+	case "4":
+		report.Grid(os.Stdout, results, report.IdleTime, esNames, dsNames, 10)
+	case "5":
+		report.Bandwidths(os.Stdout, results, esNames, "DataLeastLoaded", []float64{10, 100})
+	case "all":
+		fmt.Println("=== Figure 3a ===")
+		report.Grid(os.Stdout, results, report.ResponseTime, esNames, dsNames, 10)
+		fmt.Println("\n=== Figure 3b ===")
+		report.Grid(os.Stdout, results, report.DataTransferred, esNames, dsNames, 10)
+		fmt.Println("\n=== Figure 4 ===")
+		report.Grid(os.Stdout, results, report.IdleTime, esNames, dsNames, 10)
+		fmt.Println("\n=== Figure 5 ===")
+		report.Bandwidths(os.Stdout, results, esNames, "DataLeastLoaded", []float64{10, 100})
+		if len(seedList) >= 2 {
+			fmt.Println("\n=== §5.3 significance check ===")
+			report.Significance(os.Stdout, results,
+				experiments.Cell{ES: "JobDataPresent", DS: "DataRandom", BandwidthMBps: 10},
+				experiments.Cell{ES: "JobDataPresent", DS: "DataLeastLoaded", BandwidthMBps: 10})
+		}
+	}
+}
+
+func printTable1(cfg core.Config) {
+	fmt.Println("Table 1: simulation parameters")
+	fmt.Printf("  Total number of users:    %d\n", cfg.Users)
+	fmt.Printf("  Number of sites:          %d\n", cfg.Sites)
+	fmt.Printf("  Compute elements/site:    %d-%d\n", cfg.MinCEs, cfg.MaxCEs)
+	fmt.Printf("  Total number of datasets: %d\n", cfg.Files)
+	fmt.Printf("  Connectivity bandwidth:   %g MB/s (scenario 1), %g MB/s (scenario 2)\n",
+		cfg.BandwidthMBps, cfg.BandwidthMBps*10)
+	fmt.Printf("  Size of workload:         %d jobs\n", cfg.TotalJobs)
+	fmt.Println("Documented assumptions (not in the paper's Table 1):")
+	fmt.Printf("  Dataset sizes:            %g-%g GB uniform\n", cfg.MinFileGB, cfg.MaxFileGB)
+	fmt.Printf("  Compute per GB of input:  %g s\n", cfg.ComputePerGB)
+	fmt.Printf("  Popularity:               %v (p=%g)\n", cfg.Popularity, cfg.GeomP)
+	fmt.Printf("  Per-site storage:         %g GB (LRU)\n", cfg.StorageGB)
+	fmt.Printf("  DS interval/threshold:    %gs / %d accesses\n", cfg.DSInterval, cfg.DSThreshold)
+	fmt.Printf("  Region fanout:            %d sites per regional center\n", cfg.RegionFanout)
+}

@@ -1,0 +1,109 @@
+// Command sensitivity sweeps the model parameters the paper's Table 1
+// leaves unspecified (storage capacity, geometric popularity, DS cadence
+// and threshold, GIS staleness) and reports how the headline comparison —
+// decoupled JobDataPresent+DataLeastLoaded vs the best coupled baseline
+// JobLocal+DataDoNothing — responds. This is the calibration study behind
+// the defaults documented in DESIGN.md.
+//
+//	sensitivity                  # sweep everything (CSV to stdout)
+//	sensitivity -param storage   # one parameter
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"chicsim/internal/core"
+	"chicsim/internal/experiments"
+)
+
+type sweep struct {
+	name   string
+	values []float64
+	apply  func(*core.Config, float64)
+}
+
+func sweeps() []sweep {
+	return []sweep{
+		{
+			name:   "storage",
+			values: []float64{10, 15, 25, 50, 100, 0}, // GB; 0 = unlimited
+			apply:  func(c *core.Config, v float64) { c.StorageGB = v },
+		},
+		{
+			name:   "geomp",
+			values: []float64{0.02, 0.05, 0.1, 0.2, 0.4},
+			apply:  func(c *core.Config, v float64) { c.GeomP = v },
+		},
+		{
+			name:   "ds-threshold",
+			values: []float64{1, 3, 6, 12, 24},
+			apply:  func(c *core.Config, v float64) { c.DSThreshold = int(v) },
+		},
+		{
+			name:   "ds-interval",
+			values: []float64{60, 150, 300, 600, 1200},
+			apply:  func(c *core.Config, v float64) { c.DSInterval = v },
+		},
+		{
+			name:   "staleness",
+			values: []float64{0, 15, 30, 120, 600},
+			apply:  func(c *core.Config, v float64) { c.InfoStaleness = v },
+		},
+		{
+			name:   "bandwidth",
+			values: []float64{5, 10, 25, 50, 100},
+			apply:  func(c *core.Config, v float64) { c.BandwidthMBps = v },
+		},
+	}
+}
+
+func main() {
+	param := flag.String("param", "all", "parameter to sweep: storage, geomp, ds-threshold, ds-interval, staleness, bandwidth, all")
+	seeds := flag.Int("seeds", 2, "seed replications per point")
+	jobs := flag.Int("jobs", 3000, "jobs per simulation (Table 1 uses 6000)")
+	flag.Parse()
+
+	var seedList []uint64
+	for s := 1; s <= *seeds; s++ {
+		seedList = append(seedList, uint64(s))
+	}
+
+	fmt.Println("param,value,policy,avg_response_s,avg_data_mb_per_job,idle_pct,site_job_gini")
+	ran := false
+	for _, sw := range sweeps() {
+		if *param != "all" && *param != sw.name {
+			continue
+		}
+		ran = true
+		for _, v := range sw.values {
+			base := core.DefaultConfig()
+			base.TotalJobs = *jobs
+			sw.apply(&base, v)
+			cells := []experiments.Cell{
+				{ES: "JobDataPresent", DS: "DataLeastLoaded", BandwidthMBps: base.BandwidthMBps},
+				{ES: "JobLocal", DS: "DataDoNothing", BandwidthMBps: base.BandwidthMBps},
+			}
+			results := experiments.Run(experiments.Campaign{Base: base, Cells: cells, Seeds: seedList})
+			for _, cr := range results {
+				if cr.Err != nil {
+					fmt.Fprintf(os.Stderr, "sensitivity: %s=%g %v: %v\n", sw.name, v, cr.Cell, cr.Err)
+					continue
+				}
+				gini := 0.0
+				for _, run := range cr.Runs {
+					gini += run.SiteJobGini
+				}
+				gini /= float64(len(cr.Runs))
+				fmt.Printf("%s,%g,%s+%s,%.1f,%.1f,%.1f,%.3f\n",
+					sw.name, v, cr.Cell.ES, cr.Cell.DS,
+					cr.AvgResponseSec, cr.AvgDataPerJobMB, 100*cr.AvgIdleFrac, gini)
+			}
+		}
+	}
+	if !ran {
+		fmt.Fprintf(os.Stderr, "sensitivity: unknown parameter %q\n", *param)
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,73 @@
+// Command wlgen generates synthetic Data Grid workload traces and inspects
+// them. With -hist it prints the dataset-popularity histogram — the
+// reproduction of the paper's Figure 2.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"chicsim/internal/core"
+	"chicsim/internal/report"
+	"chicsim/internal/rng"
+	"chicsim/internal/workload"
+)
+
+func main() {
+	cfg := core.DefaultConfig()
+	seed := flag.Uint64("seed", 1, "random seed")
+	users := flag.Int("users", cfg.Users, "number of users")
+	sites := flag.Int("sites", cfg.Sites, "number of sites")
+	files := flag.Int("files", cfg.Files, "number of datasets")
+	jobs := flag.Int("jobs", cfg.TotalJobs, "total jobs")
+	geomP := flag.Float64("geom-p", cfg.GeomP, "geometric popularity parameter")
+	inputs := flag.Int("inputs", 1, "input files per job")
+	out := flag.String("o", "", "write trace to this file (default: stdout unless -hist)")
+	hist := flag.Bool("hist", false, "print the Figure 2 popularity histogram instead of a trace")
+	ranks := flag.Int("ranks", 60, "histogram: number of dataset ranks to show")
+	flag.Parse()
+
+	spec := workload.Spec{
+		Users:        *users,
+		Sites:        *sites,
+		Files:        *files,
+		TotalJobs:    *jobs,
+		MinFileBytes: cfg.MinFileGB * 1e9,
+		MaxFileBytes: cfg.MaxFileGB * 1e9,
+		ComputePerGB: cfg.ComputePerGB,
+		Popularity:   workload.Geometric,
+		GeomP:        *geomP,
+		InputsPerJob: *inputs,
+	}
+	w, err := workload.Generate(spec, rng.New(*seed))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "wlgen:", err)
+		os.Exit(1)
+	}
+
+	if *hist {
+		fmt.Printf("Figure 2: dataset popularity (geometric p=%g, %d jobs, first %d of %d datasets)\n",
+			*geomP, *jobs, *ranks, *files)
+		report.Histogram(os.Stdout, w.PopularityHistogram(), *ranks, 60)
+		return
+	}
+
+	dst := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "wlgen:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		dst = f
+	}
+	if err := w.WriteTrace(dst); err != nil {
+		fmt.Fprintln(os.Stderr, "wlgen:", err)
+		os.Exit(1)
+	}
+	if *out != "" {
+		fmt.Fprintf(os.Stderr, "wlgen: wrote %d jobs to %s\n", w.TotalJobs(), *out)
+	}
+}

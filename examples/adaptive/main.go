@@ -1,0 +1,47 @@
+// Adaptive scheduling: the paper's future-work proposal (§5.3) — "slow
+// links and large datasets might imply scheduling the jobs at the data
+// source ... if the data is small and network links are not congested,
+// moving the data to the job source ... might be viable alternatives."
+//
+// This example sweeps link bandwidth from 5 to 200 MB/s and shows the
+// JobAdaptive extension tracking whichever fixed policy (JobLocal or
+// JobDataPresent) is better at each point.
+//
+// Run with:
+//
+//	go run ./examples/adaptive
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"chicsim/internal/core"
+)
+
+func main() {
+	cfg := core.DefaultConfig()
+	cfg.TotalJobs = 3000 // half workload: this sweep runs 15 simulations
+	cfg.DS = "DataLeastLoaded"
+
+	bws := []float64{5, 10, 25, 50, 200}
+	fmt.Printf("%-10s %14s %14s %14s\n", "bandwidth", "JobLocal", "JobDataPresent", "JobAdaptive")
+	for _, bw := range bws {
+		row := make(map[string]float64)
+		for _, esName := range []string{"JobLocal", "JobDataPresent", "JobAdaptive"} {
+			c := cfg
+			c.BandwidthMBps = bw
+			c.ES = esName
+			res, err := core.RunConfig(c)
+			if err != nil {
+				log.Fatalf("%s@%g: %v", esName, bw, err)
+			}
+			row[esName] = res.AvgResponseSec
+		}
+		fmt.Printf("%7.0fMB/s %14.1f %14.1f %14.1f\n",
+			bw, row["JobLocal"], row["JobDataPresent"], row["JobAdaptive"])
+	}
+	fmt.Println("\nJobAdaptive pulls small/cheap inputs to the user's site and follows")
+	fmt.Println("the data when the pull would dominate the job's runtime, staying near")
+	fmt.Println("the better fixed policy on both sides of the crossover.")
+}

@@ -1,0 +1,59 @@
+// HEP analysis scenario: the paper's motivating workload — a community of
+// physicists analyzing CMS-scale event datasets. A small set of "golden"
+// datasets dominates requests (tight geometric popularity), files are
+// large (1–2 GB), and analysis is CPU-heavy.
+//
+// The example sweeps all four External Scheduler algorithms under
+// asynchronous replication and prints a ranking, demonstrating how to use
+// the experiments harness for a custom study.
+//
+// Run with:
+//
+//	go run ./examples/hepanalysis
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+
+	"chicsim/internal/core"
+	"chicsim/internal/experiments"
+)
+
+func main() {
+	cfg := core.DefaultConfig()
+	// A 12-institute virtual organization, 4 physicists each, working a
+	// tight golden-dataset set with long analysis jobs.
+	cfg.Sites = 12
+	cfg.RegionFanout = 4
+	cfg.Users = 48
+	cfg.Files = 100
+	cfg.TotalJobs = 2400
+	cfg.MinFileGB = 1.0
+	cfg.MaxFileGB = 2.0
+	cfg.GeomP = 0.15       // popularity concentrated in ~20 datasets
+	cfg.ComputePerGB = 600 // reconstruction-heavy analysis
+	cfg.StorageGB = 20     // institutional disk caches
+	cfg.DS = "DataLeastLoaded"
+
+	var cells []experiments.Cell
+	for _, esName := range core.PaperExternalNames() {
+		cells = append(cells, experiments.Cell{ES: esName, DS: cfg.DS, BandwidthMBps: cfg.BandwidthMBps})
+	}
+	fmt.Printf("HEP VO: %d institutes, %d physicists, %d golden datasets, %d analysis jobs\n\n",
+		cfg.Sites, cfg.Users, cfg.Files, cfg.TotalJobs)
+	results := experiments.Run(experiments.Campaign{Base: cfg, Cells: cells, Seeds: []uint64{1, 2, 3}})
+
+	sort.Slice(results, func(i, j int) bool { return results[i].AvgResponseSec < results[j].AvgResponseSec })
+	fmt.Printf("%-18s %14s %14s %10s\n", "scheduler", "response (s)", "data (MB/job)", "idle (%)")
+	for _, cr := range results {
+		if cr.Err != nil {
+			log.Fatalf("%v: %v", cr.Cell, cr.Err)
+		}
+		fmt.Printf("%-18s %14.1f %14.1f %10.1f\n",
+			cr.Cell.ES, cr.AvgResponseSec, cr.AvgDataPerJobMB, 100*cr.AvgIdleFrac)
+	}
+	fmt.Println("\njobs-to-data placement plus replication keeps physicists' turnaround")
+	fmt.Println("low while the WAN carries only replica pushes, not per-job staging.")
+}

@@ -1,0 +1,3 @@
+module chicsim
+
+go 1.22

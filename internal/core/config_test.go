@@ -1,0 +1,64 @@
+package core
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestConfigJSONRoundTrip(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Seed = 77
+	cfg.StorageGB = 42
+	cfg.ES = "JobLocal"
+	cfg.Degradations = []Degradation{{At: 5, Duration: 10, Multiplier: 0.5, BackboneOnly: true}}
+	var buf bytes.Buffer
+	if err := cfg.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadConfig(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Seed != 77 || got.StorageGB != 42 || got.ES != "JobLocal" {
+		t.Fatalf("round trip lost fields: %+v", got)
+	}
+	if len(got.Degradations) != 1 || got.Degradations[0].Duration != 10 {
+		t.Fatalf("degradations lost: %+v", got.Degradations)
+	}
+}
+
+func TestLoadConfigLayersOverDefaults(t *testing.T) {
+	// A sparse file keeps Table 1 defaults for everything unspecified.
+	got, err := LoadConfig(strings.NewReader(`{"ES":"JobRandom","Seed":9}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.ES != "JobRandom" || got.Seed != 9 {
+		t.Fatalf("explicit fields lost: %+v", got)
+	}
+	if got.Sites != 30 || got.Users != 120 || got.TotalJobs != 6000 {
+		t.Fatalf("defaults not layered: %+v", got)
+	}
+}
+
+func TestLoadConfigRejectsInvalid(t *testing.T) {
+	if _, err := LoadConfig(strings.NewReader(`{"Sites":0}`)); err == nil {
+		t.Fatal("invalid config accepted")
+	}
+	if _, err := LoadConfig(strings.NewReader(`{broken`)); err == nil {
+		t.Fatal("malformed JSON accepted")
+	}
+}
+
+func TestConfigJSONExcludesRuntimeFields(t *testing.T) {
+	cfg := DefaultConfig()
+	var buf bytes.Buffer
+	if err := cfg.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	s := buf.String()
+	if strings.Contains(s, "Recorder") || strings.Contains(s, "\"Trace\"") {
+		t.Fatalf("runtime fields serialized:\n%s", s)
+	}
+}

@@ -1,0 +1,77 @@
+package core
+
+import (
+	"testing"
+
+	"chicsim/internal/rng"
+)
+
+func TestFactoriesCoverAllNames(t *testing.T) {
+	src := rng.New(1)
+	for _, name := range ExternalNames() {
+		es, err := NewExternal(name, src, 375, 3.5)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if es.Name() != name {
+			t.Fatalf("%s: Name() = %s", name, es.Name())
+		}
+	}
+	for _, name := range LocalNames() {
+		lsched, err := NewLocal(name)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if lsched.Name() != name {
+			t.Fatalf("%s: Name() = %s", name, lsched.Name())
+		}
+	}
+	for _, name := range DatasetNames() {
+		dsched, err := NewDataset(name, src)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if dsched.Name() != name {
+			t.Fatalf("%s: Name() = %s", name, dsched.Name())
+		}
+	}
+	for _, name := range BatchNames() {
+		b, err := NewBatch(name, 375)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if b.Name() != name {
+			t.Fatalf("%s: Name() = %s", name, b.Name())
+		}
+	}
+}
+
+func TestFactoriesRejectUnknown(t *testing.T) {
+	if _, err := NewExternal("JobWarp", nil, 1, 1); err == nil {
+		t.Error("unknown ES accepted")
+	}
+	if _, err := NewLocal("Psychic"); err == nil {
+		t.Error("unknown LS accepted")
+	}
+	if _, err := NewDataset("DataWarp", nil); err == nil {
+		t.Error("unknown DS accepted")
+	}
+	if _, err := NewBatch("BatchWarp", 1); err == nil {
+		t.Error("unknown batch accepted")
+	}
+}
+
+func TestPaperNameSubsets(t *testing.T) {
+	if len(PaperExternalNames()) != 4 || len(PaperDatasetNames()) != 3 {
+		t.Fatal("paper algorithm families wrong size")
+	}
+	all := map[string]bool{}
+	for _, n := range AllNames() {
+		all[n] = true
+	}
+	for _, n := range append(PaperExternalNames(), PaperDatasetNames()...) {
+		if !all[n] {
+			t.Fatalf("paper algorithm %s missing from AllNames", n)
+		}
+	}
+}

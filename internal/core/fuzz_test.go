@@ -1,0 +1,38 @@
+package core
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzLoadConfig ensures the config parser never panics and that every
+// accepted configuration is valid, serializable, and re-loadable.
+func FuzzLoadConfig(f *testing.F) {
+	var buf bytes.Buffer
+	cfg := DefaultConfig()
+	if err := cfg.WriteJSON(&buf); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.String())
+	f.Add(`{"Sites":0}`)
+	f.Add(`{"ES":"JobBogus"}`)
+	f.Add(`{"Degradations":[{"At":-5}]}`)
+	f.Add(`{`)
+	f.Fuzz(func(t *testing.T, input string) {
+		got, err := LoadConfig(strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		if err := got.Validate(); err != nil {
+			t.Fatalf("LoadConfig accepted an invalid config: %v", err)
+		}
+		var out bytes.Buffer
+		if err := got.WriteJSON(&out); err != nil {
+			t.Fatalf("accepted config failed to serialize: %v", err)
+		}
+		if _, err := LoadConfig(&out); err != nil {
+			t.Fatalf("round trip failed: %v", err)
+		}
+	})
+}

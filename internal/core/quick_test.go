@@ -1,0 +1,75 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"chicsim/internal/rng"
+	"chicsim/internal/trace"
+)
+
+// Property: any well-formed small configuration — random grid shape,
+// algorithms, popularity, storage — completes every job with consistent
+// metrics and a valid DGE trace.
+func TestQuickRandomConfigsComplete(t *testing.T) {
+	if testing.Short() {
+		t.Skip("randomized full-sim property skipped in -short mode")
+	}
+	esNames := ExternalNames()
+	dsNames := DatasetNames()
+	lsNames := LocalNames()
+	f := func(seed uint64) bool {
+		src := rng.New(seed)
+		cfg := DefaultConfig()
+		cfg.Seed = seed
+		cfg.Sites = src.IntRange(1, 12)
+		cfg.RegionFanout = src.IntRange(1, 5)
+		cfg.Users = src.IntRange(1, 30)
+		cfg.Files = src.IntRange(5, 50)
+		cfg.TotalJobs = src.IntRange(20, 200)
+		cfg.MinCEs = src.IntRange(1, 3)
+		cfg.MaxCEs = cfg.MinCEs + src.Intn(3)
+		cfg.BandwidthMBps = src.Range(1, 100)
+		cfg.StorageGB = float64(src.Intn(3)) * src.Range(10, 60) // sometimes unlimited
+		cfg.GeomP = src.Range(0.02, 0.5)
+		cfg.InputsPerJob = src.IntRange(1, 2)
+		if cfg.InputsPerJob > cfg.Files {
+			cfg.InputsPerJob = 1
+		}
+		cfg.ES = esNames[src.Intn(len(esNames))]
+		cfg.DS = dsNames[src.Intn(len(dsNames))]
+		cfg.LS = lsNames[src.Intn(len(lsNames))]
+		cfg.DSThreshold = src.IntRange(1, 10)
+		cfg.DSInterval = src.Range(50, 600)
+		cfg.InfoStaleness = float64(src.Intn(2)) * src.Range(5, 120)
+		log := trace.NewLog()
+		cfg.Recorder = log
+
+		res, err := RunConfig(cfg)
+		if err != nil {
+			t.Logf("seed %d: %v (cfg %+v)", seed, err, cfg)
+			return false
+		}
+		if !res.Completed || res.JobsDone != cfg.TotalJobs {
+			t.Logf("seed %d: done=%d/%d", seed, res.JobsDone, cfg.TotalJobs)
+			return false
+		}
+		if res.AvgResponseSec <= 0 || res.Makespan <= 0 || res.IdleFrac < 0 || res.IdleFrac > 1 {
+			t.Logf("seed %d: degenerate metrics %+v", seed, res.Results)
+			return false
+		}
+		a, err := trace.Analyze(log)
+		if err != nil {
+			t.Logf("seed %d: trace invalid: %v", seed, err)
+			return false
+		}
+		if len(a.Jobs) != cfg.TotalJobs {
+			t.Logf("seed %d: trace jobs %d", seed, len(a.Jobs))
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,112 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+)
+
+// scenarios maps preset names to configuration builders. Each returns a
+// self-contained Config so callers can mutate freely.
+var scenarios = map[string]struct {
+	describe string
+	build    func() Config
+}{
+	"table1": {
+		describe: "the paper's Table 1, scenario 1 (10 MB/s links)",
+		build:    DefaultConfig,
+	},
+	"table1-fast": {
+		describe: "Table 1, scenario 2 (bandwidth increased by a factor of ten)",
+		build: func() Config {
+			cfg := DefaultConfig()
+			cfg.BandwidthMBps = 100
+			return cfg
+		},
+	},
+	"coupled-baseline": {
+		describe: "Table 1 with the best coupled pair (JobLocal + DataDoNothing)",
+		build: func() Config {
+			cfg := DefaultConfig()
+			cfg.ES, cfg.DS = "JobLocal", "DataDoNothing"
+			return cfg
+		},
+	},
+	"hep-vo": {
+		describe: "a CMS-style virtual organization: 12 institutes, large files, long analyses",
+		build: func() Config {
+			cfg := DefaultConfig()
+			cfg.Sites = 12
+			cfg.RegionFanout = 4
+			cfg.Users = 48
+			cfg.Files = 100
+			cfg.TotalJobs = 2400
+			cfg.MinFileGB = 1.0
+			cfg.MaxFileGB = 2.0
+			cfg.GeomP = 0.15
+			cfg.ComputePerGB = 600
+			cfg.StorageGB = 20
+			return cfg
+		},
+	},
+	"campus": {
+		describe: "a small campus grid: 6 sites, fast LAN-class links, small files",
+		build: func() Config {
+			cfg := DefaultConfig()
+			cfg.Sites = 6
+			cfg.RegionFanout = 3
+			cfg.Users = 24
+			cfg.Files = 80
+			cfg.TotalJobs = 1200
+			cfg.BandwidthMBps = 100
+			cfg.MinFileGB = 0.1
+			cfg.MaxFileGB = 0.5
+			cfg.StorageGB = 10
+			return cfg
+		},
+	},
+	"decentralized": {
+		describe: "Table 1 with regional information views and MDS-style staleness",
+		build: func() Config {
+			cfg := DefaultConfig()
+			cfg.RegionalInfo = true
+			cfg.InfoStaleness = 120
+			return cfg
+		},
+	},
+	"stressed-network": {
+		describe: "Table 1 at 5 MB/s with a mid-run backbone brownout",
+		build: func() Config {
+			cfg := DefaultConfig()
+			cfg.BandwidthMBps = 5
+			cfg.Degradations = []Degradation{{At: 3000, Duration: 7200, Multiplier: 0.1, BackboneOnly: true}}
+			return cfg
+		},
+	},
+}
+
+// Scenario returns a named preset configuration.
+func Scenario(name string) (Config, error) {
+	s, ok := scenarios[name]
+	if !ok {
+		return Config{}, fmt.Errorf("core: unknown scenario %q (have %v)", name, ScenarioNames())
+	}
+	return s.build(), nil
+}
+
+// ScenarioNames lists the available presets, sorted.
+func ScenarioNames() []string {
+	out := make([]string, 0, len(scenarios))
+	for name := range scenarios {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// ScenarioDescription returns the one-line description of a preset.
+func ScenarioDescription(name string) string {
+	if s, ok := scenarios[name]; ok {
+		return s.describe
+	}
+	return ""
+}

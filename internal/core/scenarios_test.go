@@ -1,0 +1,48 @@
+package core
+
+import "testing"
+
+func TestScenariosValidAndRunnable(t *testing.T) {
+	for _, name := range ScenarioNames() {
+		cfg, err := Scenario(name)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if err := cfg.Validate(); err != nil {
+			t.Fatalf("%s: invalid preset: %v", name, err)
+		}
+		if ScenarioDescription(name) == "" {
+			t.Fatalf("%s: no description", name)
+		}
+		// Run a shrunken version of each scenario end to end.
+		cfg.TotalJobs = 100
+		if cfg.Users > 20 {
+			cfg.Users = 20
+		}
+		res, err := RunConfig(cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if !res.Completed || res.JobsDone != 100 {
+			t.Fatalf("%s: done=%d", name, res.JobsDone)
+		}
+	}
+}
+
+func TestScenarioUnknown(t *testing.T) {
+	if _, err := Scenario("marsnet"); err == nil {
+		t.Fatal("unknown scenario accepted")
+	}
+	if ScenarioDescription("marsnet") != "" {
+		t.Fatal("unknown scenario has a description")
+	}
+}
+
+func TestScenarioReturnsFreshCopies(t *testing.T) {
+	a, _ := Scenario("table1")
+	a.Sites = 1
+	b, _ := Scenario("table1")
+	if b.Sites == 1 {
+		t.Fatal("scenario presets share state")
+	}
+}

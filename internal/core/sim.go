@@ -1,0 +1,741 @@
+package core
+
+import (
+	"fmt"
+
+	"chicsim/internal/catalog"
+	"chicsim/internal/desim"
+	"chicsim/internal/gis"
+	"chicsim/internal/job"
+	"chicsim/internal/metrics"
+	"chicsim/internal/netsim"
+	"chicsim/internal/rng"
+	"chicsim/internal/scheduler"
+	"chicsim/internal/site"
+	"chicsim/internal/stats"
+	"chicsim/internal/storage"
+	"chicsim/internal/topology"
+	"chicsim/internal/trace"
+	"chicsim/internal/workload"
+)
+
+// Results are the outputs of one Data Grid execution (DGE).
+type Results struct {
+	metrics.Results
+
+	ES, LS, DS    string
+	Seed          uint64
+	BandwidthMBps float64
+
+	TotalCEs       int
+	Completed      bool // false when MaxTime aborted the run
+	CacheHits      int
+	CacheMisses    int
+	Evictions      int
+	FetchesStarted int
+	Replications   int // DS pushes actually issued
+	DSDeletions    int // DS-initiated replica deletions (DSDeleteAfter)
+	SimEvents      uint64
+	SimEndTime     float64 // virtual time when the engine drained
+
+	// SiteJobGini measures how unevenly completed jobs concentrated over
+	// sites (0 = even, →1 = one hotspot). High values under
+	// JobDataPresent without replication are the paper's hotspot effect.
+	SiteJobGini float64
+
+	// Link utilization over the run (fraction of time each link carried
+	// at least one transfer), split by tier.
+	MeanLinkUtil     float64
+	MaxLinkUtil      float64
+	BackboneLinkUtil float64 // mean over root↔region links
+	AccessLinkUtil   float64 // mean over region↔site links
+
+	// Samples holds periodic grid snapshots when Config.SampleInterval
+	// is set (see report.Heatmap).
+	Samples []Sample
+}
+
+// Sample is one periodic snapshot of grid state.
+type Sample struct {
+	T           float64   // virtual time
+	SiteBusy    []float64 // per-site fraction of compute elements busy
+	QueuedJobs  int       // jobs waiting across all sites
+	ActiveFlows int       // in-flight wide-area transfers
+}
+
+// Simulation is a fully assembled Data Grid ready to Run. Build with New;
+// a Simulation is single-use.
+type Simulation struct {
+	cfg  Config
+	eng  *desim.Engine
+	topo *topology.Topology
+	net  *netsim.Network
+	cat  *catalog.Catalog
+	gis  *gis.Service
+	wl   *workload.Workload
+
+	sites []*site.Site
+	esFor []scheduler.External // indexed by user
+	dsch  scheduler.Dataset
+
+	batch    scheduler.Batch // non-nil in batch-scheduling mode
+	batchBuf []*job.Job      // submissions awaiting the next batch window
+
+	collector *metrics.Collector
+	view      scheduler.GridView
+
+	nextJob      []int // per-user index of next job to submit
+	jobsDone     int
+	totalJobs    int
+	finished     bool
+	busyIntegral float64
+	totalCEs     int
+
+	pushesInFlight map[pushKey]bool
+	replications   int
+	dsDeletions    int
+	idleWindows    []map[storage.FileID]int // per site: consecutive access-free DS windows
+
+	rec trace.Recorder
+
+	arrivalSrc *rng.Source // think-time / open-arrival draws
+	samples    []Sample
+
+	ran bool
+}
+
+type pushKey struct {
+	file   storage.FileID
+	target topology.SiteID
+}
+
+// mover implements site.DataMover over the network, attributing traffic to
+// job-driven fetches and crediting the source site's popularity tracker.
+type mover struct{ s *Simulation }
+
+func (m mover) Fetch(f storage.FileID, from, to topology.SiteID, done func()) {
+	size, ok := m.s.cat.Size(f)
+	if !ok {
+		panic(fmt.Sprintf("core: fetch of undefined file %d", f))
+	}
+	if from != to {
+		m.s.sites[from].RecordRemoteRequest(f, to)
+		m.s.rec.Record(trace.Event{
+			T: m.s.eng.Now(), Kind: trace.FetchStart,
+			File: int(f), Src: int(from), Dst: int(to),
+		})
+	}
+	m.s.net.Transfer(from, to, size, func(*netsim.Flow) {
+		if from != to {
+			m.s.collector.Transfer(metrics.FetchTransfer, size)
+			m.s.rec.Record(trace.Event{
+				T: m.s.eng.Now(), Kind: trace.FetchEnd,
+				File: int(f), Src: int(from), Dst: int(to), Bytes: size,
+			})
+		}
+		done()
+	})
+}
+
+// view adapts the GIS + network to the scheduler.GridView interface. When
+// regional information scoping is on, viewer (-1 = global) restricts the
+// replica view to that site's region plus master locations.
+type view struct {
+	s      *Simulation
+	viewer topology.SiteID
+}
+
+func (v view) NumSites() int                { return v.s.topo.NumSites() }
+func (v view) Load(sid topology.SiteID) int { return v.s.gis.Load(sid) }
+func (v view) CEs(sid topology.SiteID) int  { return v.s.sites[sid].CEs() }
+func (v view) Replicas(f storage.FileID) []topology.SiteID {
+	if v.viewer >= 0 {
+		return v.s.gis.ReplicasVisibleTo(f, v.viewer)
+	}
+	return v.s.gis.Replicas(f)
+}
+func (v view) HasReplica(f storage.FileID, sid topology.SiteID) bool {
+	if v.viewer >= 0 {
+		for _, r := range v.s.gis.ReplicasVisibleTo(f, v.viewer) {
+			if r == sid {
+				return true
+			}
+		}
+		return false
+	}
+	return v.s.gis.HasReplica(f, sid)
+}
+func (v view) FileSize(f storage.FileID) float64 { return v.s.gis.FileSize(f) }
+func (v view) Topology() *topology.Topology      { return v.s.topo }
+func (v view) Congestion(a, b topology.SiteID) int {
+	return v.s.net.CongestionOn(a, b)
+}
+func (v view) PredictTransfer(a, b topology.SiteID, size float64) float64 {
+	return v.s.net.PredictTime(a, b, size)
+}
+
+// New assembles a simulation from the config.
+func New(cfg Config) (*Simulation, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	s := &Simulation{
+		cfg:            cfg,
+		eng:            desim.New(),
+		cat:            catalog.New(),
+		collector:      metrics.NewCollector(),
+		pushesInFlight: make(map[pushKey]bool),
+		rec:            cfg.Recorder,
+	}
+	if s.rec == nil {
+		s.rec = trace.Discard
+	}
+	root := rng.New(cfg.Seed)
+
+	var err error
+	if len(cfg.Tiers) > 0 {
+		bws := []float64{cfg.BandwidthMBps * 1e6}
+		if len(cfg.TierBandwidthsMBps) > 0 {
+			bws = bws[:0]
+			for _, b := range cfg.TierBandwidthsMBps {
+				bws = append(bws, b*1e6)
+			}
+		}
+		s.topo, err = topology.NewTiered(cfg.Tiers, bws)
+	} else {
+		s.topo, err = topology.NewHierarchical(topology.Config{
+			Sites:             cfg.Sites,
+			RegionFanout:      cfg.RegionFanout,
+			Bandwidth:         cfg.BandwidthMBps * 1e6,
+			BackboneBandwidth: cfg.BackboneMBps * 1e6,
+		}, root.Derive("topology"))
+	}
+	if err != nil {
+		return nil, err
+	}
+	s.net = netsim.New(s.eng, s.topo, cfg.Sharing)
+	if cfg.LatencyMsPerHop > 0 {
+		s.net.SetLatencyPerHop(cfg.LatencyMsPerHop / 1000)
+	}
+
+	if cfg.Trace != nil {
+		s.wl = cfg.Trace
+	} else {
+		s.wl, err = workload.Generate(cfg.WorkloadSpec(), root.Derive("workload"))
+		if err != nil {
+			return nil, err
+		}
+	}
+	s.totalJobs = s.wl.TotalJobs()
+	for f, size := range s.wl.FileSizes {
+		if err := s.cat.DefineFile(storage.FileID(f), size); err != nil {
+			return nil, err
+		}
+	}
+
+	lsched, err := NewLocal(cfg.LS)
+	if err != nil {
+		return nil, err
+	}
+	ceSrc := root.Derive("ces")
+	speedSrc := root.Derive("speeds")
+	s.sites = make([]*site.Site, cfg.Sites)
+	for i := range s.sites {
+		ces := ceSrc.IntRange(cfg.MinCEs, cfg.MaxCEs)
+		s.totalCEs += ces
+		speed := 1.0
+		if cfg.CPUSpreadFrac > 0 {
+			speed = speedSrc.Range(1-cfg.CPUSpreadFrac, 1+cfg.CPUSpreadFrac)
+		}
+		sid := topology.SiteID(i)
+		s.sites[i], err = site.New(s.eng, s.topo, s.cat, mover{s}, lsched, site.Config{
+			ID:       sid,
+			CEs:      ces,
+			Speed:    speed,
+			Capacity: cfg.StorageGB * 1e9,
+			OnEvict: func(f storage.FileID) {
+				s.rec.Record(trace.Event{T: s.eng.Now(), Kind: trace.Evicted, File: int(f), Site: int(sid)})
+			},
+		}, s.jobDone)
+		if err != nil {
+			return nil, err
+		}
+	}
+	for f, master := range s.wl.MasterSite {
+		if err := s.sites[master].InstallMaster(storage.FileID(f), s.wl.FileSizes[f]); err != nil {
+			return nil, err
+		}
+	}
+
+	s.gis = gis.New(s.eng, s.cat, s.topo, func(sid topology.SiteID) int {
+		return s.sites[sid].QueueLen()
+	}, cfg.InfoStaleness)
+	for f, master := range s.wl.MasterSite {
+		s.gis.SetMaster(storage.FileID(f), master)
+	}
+	s.view = view{s: s, viewer: -1}
+
+	avgCompute := cfg.ComputePerGB * (cfg.MinFileGB + cfg.MaxFileGB) / 2 * float64(cfg.InputsPerJob)
+	avgCEs := float64(cfg.MinCEs+cfg.MaxCEs) / 2
+	s.esFor = make([]scheduler.External, cfg.Users)
+	esRoot := root.Derive("es")
+	switch cfg.Mapping {
+	case ESPerSite:
+		perSite := make([]scheduler.External, cfg.Sites)
+		for i := range perSite {
+			perSite[i], err = NewExternal(cfg.ES, esRoot.Derive(fmt.Sprintf("site-%d", i)), avgCompute, avgCEs)
+			if err != nil {
+				return nil, err
+			}
+		}
+		for u := range s.esFor {
+			s.esFor[u] = perSite[s.wl.UserHome[u]]
+		}
+	case ESCentral:
+		central, err := NewExternal(cfg.ES, esRoot.Derive("central"), avgCompute, avgCEs)
+		if err != nil {
+			return nil, err
+		}
+		for u := range s.esFor {
+			s.esFor[u] = hostedES{inner: central, host: 0}
+		}
+	case ESPerUser:
+		for u := range s.esFor {
+			s.esFor[u], err = NewExternal(cfg.ES, esRoot.Derive(fmt.Sprintf("user-%d", u)), avgCompute, avgCEs)
+			if err != nil {
+				return nil, err
+			}
+		}
+	default:
+		return nil, fmt.Errorf("core: unknown ES mapping %v", cfg.Mapping)
+	}
+
+	s.dsch, err = NewDataset(cfg.DS, root.Derive("ds"))
+	if err != nil {
+		return nil, err
+	}
+	if cfg.BatchES != "" {
+		s.batch, err = NewBatch(cfg.BatchES, avgCompute)
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	s.nextJob = make([]int, cfg.Users)
+	s.arrivalSrc = root.Derive("arrivals")
+	return s, nil
+}
+
+// hostedES reinterprets "local" as the scheduler's host site, used for the
+// central-ES mapping: a job "runs locally" at the central scheduler's own
+// site rather than the user's.
+type hostedES struct {
+	inner scheduler.External
+	host  topology.SiteID
+}
+
+func (h hostedES) Name() string { return h.inner.Name() }
+func (h hostedES) Place(g scheduler.GridView, j *job.Job) topology.SiteID {
+	saved := j.Origin
+	j.Origin = h.host
+	target := h.inner.Place(g, j)
+	j.Origin = saved
+	return target
+}
+
+// Run executes the simulation to completion (or MaxTime) and returns the
+// results. It may be called once.
+func (s *Simulation) Run() (Results, error) {
+	if s.ran {
+		return Results{}, fmt.Errorf("core: Simulation is single-use; construct a new one")
+	}
+	s.ran = true
+
+	if s.cfg.ArrivalRate > 0 {
+		// Open model: every user's submissions form a Poisson process,
+		// decoupled from completions.
+		for u := range s.nextJob {
+			s.scheduleArrival(job.UserID(u))
+		}
+	} else {
+		// Closed model (the paper): first submission at t = 0, next one
+		// on completion of the previous.
+		for u := range s.nextJob {
+			u := u
+			s.eng.Schedule(0, func() { s.submitNext(job.UserID(u)) })
+		}
+	}
+	if s.cfg.SampleInterval > 0 {
+		s.eng.Schedule(s.cfg.SampleInterval, s.sample)
+	}
+	if s.batch != nil {
+		s.eng.Schedule(s.cfg.BatchWindow, s.flushBatch)
+	}
+
+	// Inject configured network failures (validated at construction).
+	for _, d := range s.cfg.Degradations {
+		d := d
+		var links []topology.LinkID
+		for _, l := range s.topo.Links() {
+			if !d.BackboneOnly || s.topo.IsBackbone(l.ID) {
+				links = append(links, l.ID)
+			}
+		}
+		s.eng.At(d.At, func() {
+			for _, l := range links {
+				s.net.SetLinkBandwidth(l, d.Multiplier*s.topo.Link(l).Bandwidth)
+			}
+		})
+		s.eng.At(d.At+d.Duration, func() {
+			for _, l := range links {
+				s.net.SetLinkBandwidth(l, -1)
+			}
+		})
+	}
+
+	// Start the per-site Dataset Scheduler loops, staggered across the
+	// first interval so wake-ups don't all collide at the same instant.
+	for i := range s.sites {
+		i := i
+		offset := s.cfg.DSInterval * float64(i+1) / float64(len(s.sites))
+		s.eng.Schedule(offset, func() { s.dsWake(i) })
+	}
+
+	if s.cfg.MaxTime > 0 {
+		s.eng.RunUntil(s.cfg.MaxTime)
+	} else {
+		s.eng.Run()
+	}
+
+	if !s.finished {
+		// Aborted by MaxTime: settle busy integrals now for best-effort
+		// reporting.
+		for _, st := range s.sites {
+			s.busyIntegral += st.BusyIntegral(s.eng.Now())
+		}
+	}
+	esName := s.cfg.ES
+	if s.batch != nil {
+		esName = s.cfg.BatchES
+	}
+	r := Results{
+		Results:        s.collector.Summarize(s.busyIntegral, s.totalCEs),
+		ES:             esName,
+		LS:             s.cfg.LS,
+		DS:             s.cfg.DS,
+		Seed:           s.cfg.Seed,
+		BandwidthMBps:  s.cfg.BandwidthMBps,
+		TotalCEs:       s.totalCEs,
+		Completed:      s.finished,
+		FetchesStarted: 0,
+		Replications:   s.replications,
+		DSDeletions:    s.dsDeletions,
+		SimEvents:      s.eng.Fired(),
+		SimEndTime:     s.eng.Now(),
+	}
+	for _, st := range s.sites {
+		h, m := st.Store().HitRate()
+		r.CacheHits += h
+		r.CacheMisses += m
+		r.Evictions += st.Store().Evictions()
+		r.FetchesStarted += st.FetchesStarted()
+	}
+	jobsPerSite := make([]float64, len(s.sites))
+	for _, rec := range s.collector.Records() {
+		jobsPerSite[rec.Site]++
+	}
+	if g, err := stats.Gini(jobsPerSite); err == nil {
+		r.SiteJobGini = g
+	}
+	r.Samples = s.samples
+	util := s.net.LinkUtilization()
+	var nBack, nAcc int
+	for i, u := range util {
+		r.MeanLinkUtil += u
+		if u > r.MaxLinkUtil {
+			r.MaxLinkUtil = u
+		}
+		if s.topo.IsBackbone(topology.LinkID(i)) {
+			r.BackboneLinkUtil += u
+			nBack++
+		} else {
+			r.AccessLinkUtil += u
+			nAcc++
+		}
+	}
+	if len(util) > 0 {
+		r.MeanLinkUtil /= float64(len(util))
+	}
+	if nBack > 0 {
+		r.BackboneLinkUtil /= float64(nBack)
+	}
+	if nAcc > 0 {
+		r.AccessLinkUtil /= float64(nAcc)
+	}
+	if !s.finished && s.cfg.MaxTime <= 0 {
+		return r, fmt.Errorf("core: engine drained with %d/%d jobs done (deadlock?)", s.jobsDone, s.totalJobs)
+	}
+	return r, nil
+}
+
+// submitNext submits user u's next job, if any.
+func (s *Simulation) submitNext(u job.UserID) {
+	idx := s.nextJob[u]
+	specs := s.wl.Jobs[u]
+	if idx >= len(specs) {
+		return
+	}
+	s.nextJob[u]++
+	spec := specs[idx]
+	j := job.New(spec.ID, u, s.wl.UserHome[u], spec.Inputs, spec.Compute)
+	j.Advance(job.Submitted, s.eng.Now())
+	s.rec.Record(trace.Event{T: s.eng.Now(), Kind: trace.JobSubmitted, Job: int(j.ID), User: int(u)})
+	if s.batch != nil {
+		s.batchBuf = append(s.batchBuf, j)
+		return
+	}
+	placeView := s.view
+	if s.cfg.RegionalInfo {
+		placeView = view{s: s, viewer: s.wl.UserHome[u]}
+	}
+	target := s.esFor[u].Place(placeView, j)
+	if target < 0 || int(target) >= len(s.sites) {
+		panic(fmt.Sprintf("core: ES %s placed job %d at invalid site %d", s.cfg.ES, j.ID, target))
+	}
+	s.rec.Record(trace.Event{T: s.eng.Now(), Kind: trace.JobDispatched, Job: int(j.ID), Site: int(target)})
+	s.sites[target].Enqueue(j)
+}
+
+// jobDone fires when any site completes a job: record metrics, let the
+// user submit their next job, and detect end-of-workload.
+func (s *Simulation) jobDone(j *job.Job) {
+	s.collector.JobDone(j)
+	// Lifecycle events are flushed at completion with their true virtual
+	// timestamps; trace.Log sorts on output.
+	if j.DataReady >= 0 {
+		s.rec.Record(trace.Event{T: j.DataReady, Kind: trace.JobDataReady, Job: int(j.ID)})
+	}
+	s.rec.Record(trace.Event{T: j.StartTime, Kind: trace.JobStarted, Job: int(j.ID), Site: int(j.Site)})
+	s.rec.Record(trace.Event{T: j.EndTime, Kind: trace.JobCompleted, Job: int(j.ID), Site: int(j.Site), User: int(j.User)})
+	s.shipOutput(j)
+	s.jobsDone++
+	if s.jobsDone == s.totalJobs {
+		s.finished = true
+		for _, st := range s.sites {
+			s.busyIntegral += st.BusyIntegral(s.eng.Now())
+		}
+		return
+	}
+	if s.cfg.ArrivalRate > 0 {
+		return // open model: submissions are driven by the arrival process
+	}
+	if s.cfg.ThinkTimeMean > 0 {
+		user := j.User
+		s.eng.Schedule(s.arrivalSrc.Exp(s.cfg.ThinkTimeMean), func() { s.submitNext(user) })
+		return
+	}
+	s.submitNext(j.User)
+}
+
+// shipOutput moves a completed job's output back to the submitting site
+// when the output-cost extension is enabled. The shipment is asynchronous:
+// it contends for bandwidth and is accounted as traffic, but does not
+// extend the job's response time (the user has their answer; the bytes
+// follow).
+func (s *Simulation) shipOutput(j *job.Job) {
+	if s.cfg.OutputFraction <= 0 || j.Site == j.Origin {
+		return
+	}
+	bytes := 0.0
+	for _, f := range j.Inputs {
+		if size, ok := s.cat.Size(f); ok {
+			bytes += size
+		}
+	}
+	bytes *= s.cfg.OutputFraction
+	if bytes <= 0 {
+		return
+	}
+	jobID, src, dst := int(j.ID), int(j.Site), int(j.Origin)
+	s.rec.Record(trace.Event{T: s.eng.Now(), Kind: trace.OutputStart, Job: jobID, Src: src, Dst: dst})
+	s.net.Transfer(j.Site, j.Origin, bytes, func(*netsim.Flow) {
+		s.collector.Transfer(metrics.OutputTransfer, bytes)
+		s.rec.Record(trace.Event{T: s.eng.Now(), Kind: trace.OutputEnd, Job: jobID, Src: src, Dst: dst, Bytes: bytes})
+	})
+}
+
+// scheduleArrival drives the open-model Poisson submission process for one
+// user: submit now, then book the next arrival.
+func (s *Simulation) scheduleArrival(u job.UserID) {
+	if s.nextJob[u] >= len(s.wl.Jobs[u]) {
+		return
+	}
+	s.eng.Schedule(s.arrivalSrc.Exp(1/s.cfg.ArrivalRate), func() {
+		s.submitNext(u)
+		s.scheduleArrival(u)
+	})
+}
+
+// flushBatch assigns all buffered submissions with the batch heuristic and
+// dispatches them, then books the next window.
+func (s *Simulation) flushBatch() {
+	if s.finished {
+		return
+	}
+	if len(s.batchBuf) > 0 {
+		jobs := s.batchBuf
+		s.batchBuf = nil
+		targets := s.batch.Assign(s.view, jobs)
+		if len(targets) != len(jobs) {
+			panic(fmt.Sprintf("core: batch scheduler %s returned %d targets for %d jobs",
+				s.batch.Name(), len(targets), len(jobs)))
+		}
+		for i, j := range jobs {
+			t := targets[i]
+			if t < 0 || int(t) >= len(s.sites) {
+				panic(fmt.Sprintf("core: batch scheduler placed job %d at invalid site %d", j.ID, t))
+			}
+			s.rec.Record(trace.Event{T: s.eng.Now(), Kind: trace.JobDispatched, Job: int(j.ID), Site: int(t)})
+			s.sites[t].Enqueue(j)
+		}
+	}
+	s.eng.Schedule(s.cfg.BatchWindow, s.flushBatch)
+}
+
+// sample records one grid snapshot and reschedules itself while the
+// workload runs.
+func (s *Simulation) sample() {
+	if s.finished {
+		return
+	}
+	smp := Sample{
+		T:           s.eng.Now(),
+		SiteBusy:    make([]float64, len(s.sites)),
+		ActiveFlows: s.net.ActiveFlows(),
+	}
+	for i, st := range s.sites {
+		smp.SiteBusy[i] = float64(st.Busy()) / float64(st.CEs())
+		smp.QueuedJobs += st.QueueLen()
+	}
+	s.samples = append(s.samples, smp)
+	s.eng.Schedule(s.cfg.SampleInterval, s.sample)
+}
+
+// dsWake runs one Dataset Scheduler cycle at site i and reschedules itself
+// while the workload is still running.
+func (s *Simulation) dsWake(i int) {
+	if s.finished {
+		return
+	}
+	st := s.sites[i]
+	all := st.DrainPopularity()
+	popular := all[:0]
+	for _, p := range all {
+		if p.Count >= s.cfg.DSThreshold {
+			popular = append(popular, p)
+		}
+	}
+	if len(popular) > 0 {
+		dsView := s.view
+		if s.cfg.RegionalInfo {
+			dsView = view{s: s, viewer: topology.SiteID(i)}
+		}
+		for _, rep := range s.dsch.Decide(dsView, topology.SiteID(i), popular) {
+			s.pushReplica(topology.SiteID(i), rep)
+		}
+	}
+	if s.cfg.DSDeleteAfter > 0 {
+		s.dsDelete(i, all)
+	}
+	s.eng.Schedule(s.cfg.DSInterval, func() { s.dsWake(i) })
+}
+
+// dsDelete ages cached replicas at site i and deletes those untouched for
+// DSDeleteAfter consecutive DS windows (the DS's "delete local files"
+// role).
+func (s *Simulation) dsDelete(i int, accessed []scheduler.PopularFile) {
+	if s.idleWindows == nil {
+		s.idleWindows = make([]map[storage.FileID]int, len(s.sites))
+	}
+	if s.idleWindows[i] == nil {
+		s.idleWindows[i] = make(map[storage.FileID]int)
+	}
+	windows := s.idleWindows[i]
+	touched := make(map[storage.FileID]bool, len(accessed))
+	for _, p := range accessed {
+		touched[p.File] = true
+		delete(windows, p.File)
+	}
+	for _, f := range s.sites[i].CachedIdleFiles() {
+		if touched[f] {
+			continue
+		}
+		windows[f]++
+		if windows[f] >= s.cfg.DSDeleteAfter {
+			if s.sites[i].DeleteReplica(f) {
+				s.dsDeletions++
+			}
+			delete(windows, f)
+		}
+	}
+}
+
+// pushReplica executes one DS decision: an asynchronous replica push from
+// `from` to rep.Target. The source copy is pinned for the duration of the
+// transfer.
+func (s *Simulation) pushReplica(from topology.SiteID, rep scheduler.Replication) {
+	if rep.Target == from || int(rep.Target) < 0 || int(rep.Target) >= len(s.sites) {
+		return
+	}
+	if !s.sites[from].Store().Peek(rep.File) {
+		return // no longer resident here
+	}
+	if s.cat.HasReplica(rep.File, rep.Target) {
+		return
+	}
+	key := pushKey{rep.File, rep.Target}
+	if s.pushesInFlight[key] {
+		return
+	}
+	size, ok := s.cat.Size(rep.File)
+	if !ok {
+		return
+	}
+	if err := s.sites[from].Store().Pin(rep.File); err != nil {
+		return
+	}
+	s.pushesInFlight[key] = true
+	s.replications++
+	s.rec.Record(trace.Event{
+		T: s.eng.Now(), Kind: trace.ReplPush,
+		File: int(rep.File), Src: int(from), Dst: int(rep.Target),
+	})
+	s.net.Transfer(from, rep.Target, size, func(*netsim.Flow) {
+		delete(s.pushesInFlight, key)
+		if err := s.sites[from].Store().Unpin(rep.File); err == nil {
+			s.sites[from].Store().Touch(rep.File)
+		}
+		s.collector.Transfer(metrics.ReplicationTransfer, size)
+		s.rec.Record(trace.Event{
+			T: s.eng.Now(), Kind: trace.ReplArrive,
+			File: int(rep.File), Src: int(from), Dst: int(rep.Target), Bytes: size,
+		})
+		s.sites[rep.Target].ReceiveReplica(rep.File, size)
+	})
+}
+
+// Engine exposes the underlying engine (e.g. for embedding the simulation
+// in a larger experiment loop). Read-only use only.
+func (s *Simulation) Engine() *desim.Engine { return s.eng }
+
+// Workload returns the workload being executed.
+func (s *Simulation) Workload() *workload.Workload { return s.wl }
+
+// RunConfig builds and runs a simulation in one call.
+func RunConfig(cfg Config) (Results, error) {
+	sim, err := New(cfg)
+	if err != nil {
+		return Results{}, err
+	}
+	return sim.Run()
+}

@@ -1,0 +1,72 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"chicsim/internal/trace"
+)
+
+// TestTraceCrossValidatesMetrics records a full DGE and checks that the
+// offline trace analysis reproduces the online collector's numbers exactly
+// — the two pipelines share no code beyond the event stream.
+func TestTraceCrossValidatesMetrics(t *testing.T) {
+	cfg := smallConfig()
+	log := trace.NewLog()
+	cfg.Recorder = log
+	res, err := RunConfig(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := trace.Analyze(log)
+	if err != nil {
+		t.Fatalf("trace validation failed: %v", err)
+	}
+	if len(a.Jobs) != res.JobsDone {
+		t.Fatalf("trace has %d jobs, results %d", len(a.Jobs), res.JobsDone)
+	}
+	if math.Abs(a.Response.Mean-res.AvgResponseSec) > 1e-6 {
+		t.Fatalf("response mean: trace %v vs online %v", a.Response.Mean, res.AvgResponseSec)
+	}
+	if math.Abs(a.Makespan-res.Makespan) > 1e-6 {
+		t.Fatalf("makespan: trace %v vs online %v", a.Makespan, res.Makespan)
+	}
+	if math.Abs(a.AvgDataPerJobMB()-res.AvgDataPerJobMB) > 1e-6 {
+		t.Fatalf("data/job: trace %v vs online %v", a.AvgDataPerJobMB(), res.AvgDataPerJobMB)
+	}
+	if math.Abs(a.QueueWait.Mean-res.AvgQueueWait) > 1e-6 {
+		t.Fatalf("queue wait: trace %v vs online %v", a.QueueWait.Mean, res.AvgQueueWait)
+	}
+	if a.EvictCount != res.Evictions {
+		t.Fatalf("evictions: trace %d vs online %d", a.EvictCount, res.Evictions)
+	}
+	if a.PushCount != res.Replications {
+		t.Fatalf("pushes: trace %d vs online %d", a.PushCount, res.Replications)
+	}
+}
+
+// TestTraceHotspotSignal checks the motivating phenomenon directly: under
+// JobDataPresent without replication, completed work concentrates on few
+// sites (high Gini); adding replication spreads it.
+func TestTraceHotspotSignal(t *testing.T) {
+	gini := func(dsName string) float64 {
+		cfg := smallConfig()
+		cfg.ES = "JobDataPresent"
+		cfg.DS = dsName
+		log := trace.NewLog()
+		cfg.Recorder = log
+		if _, err := RunConfig(cfg); err != nil {
+			t.Fatal(err)
+		}
+		a, err := trace.Analyze(log)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return a.SiteLoadGini()
+	}
+	hot := gini("DataDoNothing")
+	spread := gini("DataLeastLoaded")
+	if hot <= spread {
+		t.Fatalf("hotspot Gini %v not above replicated Gini %v", hot, spread)
+	}
+}

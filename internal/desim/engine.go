@@ -1,0 +1,183 @@
+// Package desim provides a deterministic discrete-event simulation engine.
+//
+// It replaces Parsec, the C-based simulation language the original ChicSim
+// was built on, and provides the virtual clock on which every other
+// simulator component runs. Events are callbacks scheduled at a virtual
+// time; ties are broken by scheduling order, so a simulation driven by a
+// seeded random source is exactly reproducible.
+package desim
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+)
+
+// Time is virtual simulation time in seconds.
+type Time = float64
+
+// Event is a handle to a scheduled callback. It can be cancelled before it
+// fires via Engine.Cancel.
+type Event struct {
+	at       Time
+	seq      uint64
+	index    int // heap index; -1 once popped or cancelled
+	canceled bool
+	fn       func()
+}
+
+// At returns the virtual time the event is scheduled to fire.
+func (e *Event) At() Time { return e.at }
+
+// Canceled reports whether the event has been cancelled.
+func (e *Event) Canceled() bool { return e.canceled }
+
+// Engine is a discrete-event simulation engine. The zero value is ready to
+// use. Engine is not safe for concurrent use: a simulation is a single
+// logical thread of control (parallelism in this codebase lives one level
+// up, across independent simulations).
+type Engine struct {
+	now     Time
+	queue   eventHeap
+	seq     uint64
+	fired   uint64
+	stopped bool
+}
+
+// New returns a fresh engine with the clock at zero.
+func New() *Engine { return &Engine{} }
+
+// Now returns the current virtual time.
+func (e *Engine) Now() Time { return e.now }
+
+// Fired returns the number of events executed so far (useful in tests and
+// for progress accounting).
+func (e *Engine) Fired() uint64 { return e.fired }
+
+// Pending returns the number of events still scheduled (including cancelled
+// events not yet drained from the heap).
+func (e *Engine) Pending() int { return len(e.queue) }
+
+// Schedule registers fn to run after delay seconds of virtual time.
+// A negative or NaN delay is an error in the caller; Schedule panics to
+// surface the bug instead of silently reordering time.
+func (e *Engine) Schedule(delay Time, fn func()) *Event {
+	if math.IsNaN(delay) || delay < 0 {
+		panic(fmt.Sprintf("desim: Schedule with invalid delay %v", delay))
+	}
+	return e.At(e.now+delay, fn)
+}
+
+// At registers fn to run at absolute virtual time t, which must not be in
+// the past.
+func (e *Engine) At(t Time, fn func()) *Event {
+	if math.IsNaN(t) || t < e.now {
+		panic(fmt.Sprintf("desim: At with time %v before now %v", t, e.now))
+	}
+	if fn == nil {
+		panic("desim: At with nil callback")
+	}
+	ev := &Event{at: t, seq: e.seq, fn: fn}
+	e.seq++
+	heap.Push(&e.queue, ev)
+	return ev
+}
+
+// Cancel prevents a scheduled event from firing. Cancelling an event that
+// already fired or was already cancelled is a harmless no-op.
+func (e *Engine) Cancel(ev *Event) {
+	if ev == nil || ev.canceled || ev.index < 0 {
+		if ev != nil {
+			ev.canceled = true
+		}
+		return
+	}
+	ev.canceled = true
+	heap.Remove(&e.queue, ev.index)
+	ev.index = -1
+}
+
+// Step executes the single next event, advancing the clock to its time.
+// It returns false when no events remain.
+func (e *Engine) Step() bool {
+	for len(e.queue) > 0 {
+		ev := heap.Pop(&e.queue).(*Event)
+		if ev.canceled {
+			continue
+		}
+		e.now = ev.at
+		e.fired++
+		ev.fn()
+		return true
+	}
+	return false
+}
+
+// Run executes events until the queue drains or Stop is called.
+func (e *Engine) Run() {
+	e.stopped = false
+	for !e.stopped && e.Step() {
+	}
+}
+
+// RunUntil executes events with time ≤ horizon, then advances the clock to
+// horizon. Events scheduled beyond the horizon remain pending.
+func (e *Engine) RunUntil(horizon Time) {
+	e.stopped = false
+	for !e.stopped {
+		ev := e.peek()
+		if ev == nil || ev.at > horizon {
+			break
+		}
+		e.Step()
+	}
+	if e.now < horizon {
+		e.now = horizon
+	}
+}
+
+// Stop makes the current Run/RunUntil return after the in-flight event
+// completes. Intended to be called from inside an event callback.
+func (e *Engine) Stop() { e.stopped = true }
+
+func (e *Engine) peek() *Event {
+	for len(e.queue) > 0 {
+		if e.queue[0].canceled {
+			heap.Pop(&e.queue)
+			continue
+		}
+		return e.queue[0]
+	}
+	return nil
+}
+
+// eventHeap orders events by (time, sequence), giving a strict deterministic
+// total order.
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *eventHeap) Push(x any) {
+	ev := x.(*Event)
+	ev.index = len(*h)
+	*h = append(*h, ev)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	ev.index = -1
+	*h = old[:n-1]
+	return ev
+}

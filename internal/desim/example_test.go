@@ -1,0 +1,36 @@
+package desim_test
+
+import (
+	"fmt"
+
+	"chicsim/internal/desim"
+)
+
+// A small simulation: two events and a cancellation. Events run in virtual
+// time order regardless of scheduling order.
+func Example() {
+	eng := desim.New()
+	eng.Schedule(10, func() { fmt.Println("second, at", eng.Now()) })
+	eng.Schedule(5, func() { fmt.Println("first, at", eng.Now()) })
+	doomed := eng.Schedule(7, func() { fmt.Println("never runs") })
+	eng.Cancel(doomed)
+	eng.Run()
+	fmt.Println("clock:", eng.Now())
+	// Output:
+	// first, at 5
+	// second, at 10
+	// clock: 10
+}
+
+// Events may schedule further events; the queue drains in causal order.
+func Example_cascade() {
+	eng := desim.New()
+	eng.Schedule(1, func() {
+		fmt.Println("ping at", eng.Now())
+		eng.Schedule(2, func() { fmt.Println("pong at", eng.Now()) })
+	})
+	eng.Run()
+	// Output:
+	// ping at 1
+	// pong at 3
+}

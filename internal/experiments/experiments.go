@@ -1,0 +1,274 @@
+// Package experiments defines the paper's evaluation campaign — "a total
+// of 72 simulation experiments. For each of our 4x3=12 pairs of scheduling
+// algorithms, we ran six experiments: three with data grid parameters as
+// above and three with network bandwidth increased by a factor of ten"
+// (§5.2) — and a parallel runner that executes them across CPU cores.
+//
+// Independent simulations are the natural unit of parallelism here: each
+// simulation itself is a deterministic single-threaded event loop, so
+// results are bit-identical regardless of worker count.
+package experiments
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+
+	"chicsim/internal/core"
+	"chicsim/internal/stats"
+)
+
+// Cell identifies one (ES, DS, bandwidth) combination in the campaign.
+type Cell struct {
+	ES            string
+	DS            string
+	BandwidthMBps float64
+}
+
+func (c Cell) String() string {
+	return fmt.Sprintf("%s+%s@%gMB/s", c.ES, c.DS, c.BandwidthMBps)
+}
+
+// CellResult aggregates one cell's seed replications.
+type CellResult struct {
+	Cell Cell
+	Runs []core.Results
+	Err  error // first failure, if any
+
+	AvgResponseSec  float64 // mean over seeds
+	StdResponseSec  float64
+	CI95ResponseSec float64 // half-width of the 95% CI over seeds
+	AvgDataPerJobMB float64
+	AvgIdleFrac     float64
+}
+
+// ResponseSamples returns the per-seed response means (for significance
+// tests between cells).
+func (cr *CellResult) ResponseSamples() []float64 {
+	out := make([]float64, 0, len(cr.Runs))
+	for _, r := range cr.Runs {
+		out = append(out, r.AvgResponseSec)
+	}
+	return out
+}
+
+// aggregate fills the derived fields from Runs.
+func (cr *CellResult) aggregate() {
+	if len(cr.Runs) == 0 {
+		return
+	}
+	var data, idle []float64
+	for _, r := range cr.Runs {
+		data = append(data, r.AvgDataPerJobMB)
+		idle = append(idle, r.IdleFrac)
+	}
+	sum := stats.Summarize(cr.ResponseSamples())
+	cr.AvgResponseSec = sum.Mean
+	cr.StdResponseSec = sum.StdDev
+	cr.CI95ResponseSec = sum.CI95
+	cr.AvgDataPerJobMB = stats.Mean(data)
+	cr.AvgIdleFrac = stats.Mean(idle)
+}
+
+// CompareResponse runs Welch's t-test on the per-seed response times of
+// two cells, answering the paper's "no significant performance
+// difference" style questions (§5.2: DataRandom vs DataLeastLoaded).
+func CompareResponse(a, b *CellResult) (stats.TTestResult, error) {
+	return stats.WelchTTest(a.ResponseSamples(), b.ResponseSamples())
+}
+
+// Campaign describes a set of cells to run with seed replication.
+type Campaign struct {
+	Base    core.Config // template; ES/DS/Bandwidth/Seed overridden per run
+	Cells   []Cell
+	Seeds   []uint64
+	Workers int // <= 0: GOMAXPROCS
+}
+
+// PaperSeeds are the default three seed replications ("within each set of
+// three, we ran with different random seeds").
+func PaperSeeds() []uint64 { return []uint64{1, 2, 3} }
+
+// PaperCells returns the paper's full 12-pair campaign at the given
+// bandwidth.
+func PaperCells(bandwidthMBps float64) []Cell {
+	var cells []Cell
+	for _, dsName := range core.PaperDatasetNames() {
+		for _, esName := range core.PaperExternalNames() {
+			cells = append(cells, Cell{ES: esName, DS: dsName, BandwidthMBps: bandwidthMBps})
+		}
+	}
+	return cells
+}
+
+// Figure5Cells returns the 4 ES × {10, 100} MB/s cells with
+// DataLeastLoaded, matching Figure 5.
+func Figure5Cells() []Cell {
+	var cells []Cell
+	for _, bw := range []float64{10, 100} {
+		for _, esName := range core.PaperExternalNames() {
+			cells = append(cells, Cell{ES: esName, DS: "DataLeastLoaded", BandwidthMBps: bw})
+		}
+	}
+	return cells
+}
+
+// FullPaperCampaign returns all 72 experiments: 12 pairs × 2 bandwidths
+// (cells) × 3 seeds (replications).
+func FullPaperCampaign(base core.Config) Campaign {
+	cells := append(PaperCells(10), PaperCells(100)...)
+	return Campaign{Base: base, Cells: cells, Seeds: PaperSeeds()}
+}
+
+// Run executes the campaign, farming independent simulations out to
+// worker goroutines, and returns per-cell aggregates in cell order.
+func Run(c Campaign) []CellResult {
+	if len(c.Seeds) == 0 {
+		c.Seeds = PaperSeeds()
+	}
+	workers := c.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+
+	type task struct {
+		cell int
+		seed uint64
+	}
+	type outcome struct {
+		cell int
+		res  core.Results
+		err  error
+	}
+	tasks := make(chan task)
+	outcomes := make(chan outcome)
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for t := range tasks {
+				cfg := c.Base
+				cfg.ES = c.Cells[t.cell].ES
+				cfg.DS = c.Cells[t.cell].DS
+				cfg.BandwidthMBps = c.Cells[t.cell].BandwidthMBps
+				cfg.Seed = t.seed
+				res, err := core.RunConfig(cfg)
+				outcomes <- outcome{cell: t.cell, res: res, err: err}
+			}
+		}()
+	}
+	go func() {
+		for i := range c.Cells {
+			for _, seed := range c.Seeds {
+				tasks <- task{cell: i, seed: seed}
+			}
+		}
+		close(tasks)
+		wg.Wait()
+		close(outcomes)
+	}()
+
+	results := make([]CellResult, len(c.Cells))
+	for i := range results {
+		results[i].Cell = c.Cells[i]
+	}
+	for o := range outcomes {
+		cr := &results[o.cell]
+		if o.err != nil && cr.Err == nil {
+			cr.Err = o.err
+			continue
+		}
+		cr.Runs = append(cr.Runs, o.res)
+	}
+	for i := range results {
+		// Seed order within a cell is nondeterministic from the channel;
+		// sort for stable reports.
+		sort.Slice(results[i].Runs, func(a, b int) bool {
+			return results[i].Runs[a].Seed < results[i].Runs[b].Seed
+		})
+		results[i].aggregate()
+	}
+	return results
+}
+
+// FindBandwidthCrossover bisects for the link bandwidth at which two
+// External Scheduler algorithms reach equal average response time — the
+// crossover the paper's §5.3 observes between data-moving policies
+// (JobLocal) and job-moving policies (JobDataPresent) as networks speed
+// up. Both algorithms use the base config's DS. The responses must
+// bracket the crossover at lo and hi (one algorithm faster at each end);
+// otherwise an error is returned. Each probe averages the given seeds.
+func FindBandwidthCrossover(base core.Config, esA, esB string, lo, hi, tolMBps float64, seeds []uint64) (float64, error) {
+	if lo <= 0 || hi <= lo || tolMBps <= 0 {
+		return 0, fmt.Errorf("experiments: invalid bracket [%v, %v] tol %v", lo, hi, tolMBps)
+	}
+	if len(seeds) == 0 {
+		seeds = PaperSeeds()
+	}
+	diff := func(bw float64) (float64, error) {
+		var dA, dB float64
+		for _, seed := range seeds {
+			for _, esName := range []string{esA, esB} {
+				cfg := base
+				cfg.ES = esName
+				cfg.BandwidthMBps = bw
+				cfg.Seed = seed
+				res, err := core.RunConfig(cfg)
+				if err != nil {
+					return 0, err
+				}
+				if esName == esA {
+					dA += res.AvgResponseSec
+				} else {
+					dB += res.AvgResponseSec
+				}
+			}
+		}
+		return dA - dB, nil
+	}
+	dLo, err := diff(lo)
+	if err != nil {
+		return 0, err
+	}
+	dHi, err := diff(hi)
+	if err != nil {
+		return 0, err
+	}
+	if dLo == 0 {
+		return lo, nil
+	}
+	if dHi == 0 {
+		return hi, nil
+	}
+	if (dLo > 0) == (dHi > 0) {
+		return 0, fmt.Errorf("experiments: no crossover in [%v, %v] MB/s (diffs %v, %v)", lo, hi, dLo, dHi)
+	}
+	for hi-lo > tolMBps {
+		mid := (lo + hi) / 2
+		dMid, err := diff(mid)
+		if err != nil {
+			return 0, err
+		}
+		if dMid == 0 {
+			return mid, nil
+		}
+		if (dMid > 0) == (dLo > 0) {
+			lo, dLo = mid, dMid
+		} else {
+			hi = mid
+		}
+	}
+	return (lo + hi) / 2, nil
+}
+
+// ByCell indexes results for lookup in assertions and report code.
+func ByCell(results []CellResult) map[Cell]*CellResult {
+	m := make(map[Cell]*CellResult, len(results))
+	for i := range results {
+		m[results[i].Cell] = &results[i]
+	}
+	return m
+}

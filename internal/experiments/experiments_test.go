@@ -1,0 +1,178 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"chicsim/internal/core"
+)
+
+func tinyBase() core.Config {
+	cfg := core.DefaultConfig()
+	cfg.Sites = 6
+	cfg.Users = 12
+	cfg.Files = 30
+	cfg.TotalJobs = 120
+	cfg.RegionFanout = 3
+	return cfg
+}
+
+func TestPaperCells(t *testing.T) {
+	cells := PaperCells(10)
+	if len(cells) != 12 {
+		t.Fatalf("cells = %d, want 12 (4 ES × 3 DS)", len(cells))
+	}
+	seen := map[Cell]bool{}
+	for _, c := range cells {
+		if c.BandwidthMBps != 10 {
+			t.Fatalf("bandwidth = %v", c.BandwidthMBps)
+		}
+		if seen[c] {
+			t.Fatalf("duplicate cell %v", c)
+		}
+		seen[c] = true
+	}
+}
+
+func TestFigure5Cells(t *testing.T) {
+	cells := Figure5Cells()
+	if len(cells) != 8 {
+		t.Fatalf("cells = %d, want 8 (4 ES × 2 bandwidths)", len(cells))
+	}
+	for _, c := range cells {
+		if c.DS != "DataLeastLoaded" {
+			t.Fatalf("DS = %s", c.DS)
+		}
+	}
+}
+
+func TestFullPaperCampaign(t *testing.T) {
+	camp := FullPaperCampaign(core.DefaultConfig())
+	if len(camp.Cells) != 24 || len(camp.Seeds) != 3 {
+		t.Fatalf("campaign shape %d cells × %d seeds, want 24 × 3 (= 72 runs)", len(camp.Cells), len(camp.Seeds))
+	}
+}
+
+func TestRunAggregates(t *testing.T) {
+	camp := Campaign{
+		Base: tinyBase(),
+		Cells: []Cell{
+			{ES: "JobDataPresent", DS: "DataLeastLoaded", BandwidthMBps: 10},
+			{ES: "JobLocal", DS: "DataDoNothing", BandwidthMBps: 10},
+		},
+		Seeds:   []uint64{1, 2},
+		Workers: 2,
+	}
+	results := Run(camp)
+	if len(results) != 2 {
+		t.Fatalf("results = %d", len(results))
+	}
+	for _, cr := range results {
+		if cr.Err != nil {
+			t.Fatalf("%v: %v", cr.Cell, cr.Err)
+		}
+		if len(cr.Runs) != 2 {
+			t.Fatalf("%v: %d runs", cr.Cell, len(cr.Runs))
+		}
+		if cr.Runs[0].Seed != 1 || cr.Runs[1].Seed != 2 {
+			t.Fatalf("%v: runs not sorted by seed", cr.Cell)
+		}
+		if cr.AvgResponseSec <= 0 {
+			t.Fatalf("%v: no aggregate", cr.Cell)
+		}
+		want := (cr.Runs[0].AvgResponseSec + cr.Runs[1].AvgResponseSec) / 2
+		if diff := cr.AvgResponseSec - want; diff > 1e-9 || diff < -1e-9 {
+			t.Fatalf("%v: aggregate mean wrong", cr.Cell)
+		}
+	}
+}
+
+func TestRunDeterministicAcrossWorkerCounts(t *testing.T) {
+	mk := func(workers int) []CellResult {
+		return Run(Campaign{
+			Base:    tinyBase(),
+			Cells:   []Cell{{ES: "JobDataPresent", DS: "DataRandom", BandwidthMBps: 10}},
+			Seeds:   []uint64{1, 2, 3},
+			Workers: workers,
+		})
+	}
+	a, b := mk(1), mk(4)
+	if a[0].AvgResponseSec != b[0].AvgResponseSec || a[0].StdResponseSec != b[0].StdResponseSec {
+		t.Fatal("results depend on worker count")
+	}
+}
+
+func TestRunReportsErrors(t *testing.T) {
+	base := tinyBase()
+	results := Run(Campaign{
+		Base:  base,
+		Cells: []Cell{{ES: "JobBogus", DS: "DataRandom", BandwidthMBps: 10}},
+		Seeds: []uint64{1},
+	})
+	if results[0].Err == nil {
+		t.Fatal("expected error for bogus algorithm")
+	}
+}
+
+func TestByCell(t *testing.T) {
+	cells := PaperCells(10)
+	results := make([]CellResult, len(cells))
+	for i := range results {
+		results[i].Cell = cells[i]
+	}
+	idx := ByCell(results)
+	if len(idx) != 12 {
+		t.Fatalf("index size %d", len(idx))
+	}
+	if idx[cells[3]] != &results[3] {
+		t.Fatal("index points at wrong entry")
+	}
+}
+
+func TestCellString(t *testing.T) {
+	c := Cell{ES: "JobLocal", DS: "DataRandom", BandwidthMBps: 10}
+	if !strings.Contains(c.String(), "JobLocal") || !strings.Contains(c.String(), "10") {
+		t.Fatalf("String = %q", c)
+	}
+}
+
+func TestFindBandwidthCrossover(t *testing.T) {
+	base := tinyBase()
+	base.TotalJobs = 240
+	base.DS = "DataLeastLoaded"
+	// JobLocal is slower than JobDataPresent on slow links and at least
+	// matches it on fast ones; the crossover must land inside a sane
+	// bracket if it exists.
+	bw, err := FindBandwidthCrossover(base, "JobLocal", "JobDataPresent", 2, 400, 10, []uint64{1})
+	if err != nil {
+		t.Skipf("no crossover on the tiny grid (acceptable): %v", err)
+	}
+	if bw < 2 || bw > 400 {
+		t.Fatalf("crossover %v outside bracket", bw)
+	}
+}
+
+func TestFindBandwidthCrossoverErrors(t *testing.T) {
+	base := tinyBase()
+	if _, err := FindBandwidthCrossover(base, "JobLocal", "JobDataPresent", -1, 10, 1, nil); err == nil {
+		t.Fatal("invalid bracket accepted")
+	}
+	if _, err := FindBandwidthCrossover(base, "JobLocal", "JobDataPresent", 10, 5, 1, nil); err == nil {
+		t.Fatal("inverted bracket accepted")
+	}
+	base.TotalJobs = 60
+	// Same algorithm on both sides: no sign change.
+	if _, err := FindBandwidthCrossover(base, "JobLocal", "JobLocal", 5, 50, 5, []uint64{1}); err == nil {
+		t.Fatal("no-crossover case accepted")
+	}
+}
+
+func TestDefaultSeedsApplied(t *testing.T) {
+	results := Run(Campaign{
+		Base:  tinyBase(),
+		Cells: []Cell{{ES: "JobLocal", DS: "DataDoNothing", BandwidthMBps: 10}},
+	})
+	if len(results[0].Runs) != 3 {
+		t.Fatalf("default seeds gave %d runs, want 3", len(results[0].Runs))
+	}
+}

@@ -1,0 +1,193 @@
+// Package gis implements the Grid Information Service: the component that
+// answers "what is the load at site X?" and "where are the replicas of
+// file F?" for schedulers.
+//
+// The paper's modules obtain such external information "either from an
+// information service (e.g., the Globus Toolkit's Monitoring and Discovery
+// Service, Network Weather Service) or directly from sites". The default
+// service is an oracle (fresh answers, as the paper effectively assumes);
+// a configurable staleness interval makes the service answer from periodic
+// snapshots instead, modelling MDS-style cached indexes (extension, see
+// DESIGN.md §6).
+package gis
+
+import (
+	"chicsim/internal/catalog"
+	"chicsim/internal/desim"
+	"chicsim/internal/rng"
+	"chicsim/internal/storage"
+	"chicsim/internal/topology"
+)
+
+// LoadFunc reports a site's current load: the paper defines load as "the
+// least number of jobs waiting to run", so this is the incoming-queue
+// length.
+type LoadFunc func(topology.SiteID) int
+
+// Service answers scheduler queries about grid state.
+type Service struct {
+	eng      *desim.Engine
+	cat      *catalog.Catalog
+	topo     *topology.Topology
+	loadOf   LoadFunc
+	stale    float64 // snapshot refresh period; 0 = oracle
+	snapTime desim.Time
+	snapLoad []int
+	snapRep  map[storage.FileID][]topology.SiteID
+
+	// masterOf records each file's permanent master site. Masters are
+	// globally advertised even under regional scoping (the initial
+	// dataset→site mapping is static, well-known metadata).
+	masterOf map[storage.FileID]topology.SiteID
+	// regionOf caches each site's region membership for scoped queries.
+	regionOf []map[topology.SiteID]bool
+}
+
+// New creates a service. staleness <= 0 yields an oracle.
+func New(eng *desim.Engine, cat *catalog.Catalog, topo *topology.Topology, loadOf LoadFunc, staleness float64) *Service {
+	return &Service{
+		eng:      eng,
+		cat:      cat,
+		topo:     topo,
+		loadOf:   loadOf,
+		stale:    staleness,
+		snapTime: -1,
+	}
+}
+
+// Topology exposes the routed topology for hop/neighbor queries.
+func (s *Service) Topology() *topology.Topology { return s.topo }
+
+// SetMaster records a file's master site (used for scoped visibility:
+// master locations are global knowledge).
+func (s *Service) SetMaster(f storage.FileID, site topology.SiteID) {
+	if s.masterOf == nil {
+		s.masterOf = make(map[storage.FileID]topology.SiteID)
+	}
+	s.masterOf[f] = site
+}
+
+// region returns the membership set of viewer's region (viewer+siblings),
+// built lazily.
+func (s *Service) region(viewer topology.SiteID) map[topology.SiteID]bool {
+	if s.regionOf == nil {
+		s.regionOf = make([]map[topology.SiteID]bool, s.topo.NumSites())
+	}
+	if m := s.regionOf[viewer]; m != nil {
+		return m
+	}
+	m := map[topology.SiteID]bool{viewer: true}
+	for _, sib := range s.topo.Siblings(viewer) {
+		m[sib] = true
+	}
+	s.regionOf[viewer] = m
+	return m
+}
+
+// ReplicasVisibleTo returns the replica locations of f that a scheduler at
+// `viewer` can see under regional information scoping: replicas within the
+// viewer's region plus the file's master site. This models the paper's
+// decentralized stance — "each site takes informed decisions based on its
+// view of the Grid" — without a global replica index.
+func (s *Service) ReplicasVisibleTo(f storage.FileID, viewer topology.SiteID) []topology.SiteID {
+	all := s.Replicas(f)
+	region := s.region(viewer)
+	master, hasMaster := s.masterOf[f]
+	out := make([]topology.SiteID, 0, len(all))
+	for _, r := range all {
+		if region[r] || (hasMaster && r == master) {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// NumSites returns the number of sites.
+func (s *Service) NumSites() int { return s.topo.NumSites() }
+
+// FileSize returns the file's size; it panics on unknown files (a
+// scheduler asking about an undefined file is a harness bug).
+func (s *Service) FileSize(f storage.FileID) float64 {
+	size, ok := s.cat.Size(f)
+	if !ok {
+		panic("gis: size query for undefined file")
+	}
+	return size
+}
+
+func (s *Service) refresh() {
+	if s.stale <= 0 {
+		return
+	}
+	now := s.eng.Now()
+	if s.snapTime >= 0 && now-s.snapTime < s.stale {
+		return
+	}
+	s.snapTime = now
+	s.snapLoad = make([]int, s.topo.NumSites())
+	for i := range s.snapLoad {
+		s.snapLoad[i] = s.loadOf(topology.SiteID(i))
+	}
+	s.snapRep = make(map[storage.FileID][]topology.SiteID, s.cat.NumFiles())
+	for _, f := range s.cat.Files() {
+		s.snapRep[f] = s.cat.Replicas(f)
+	}
+}
+
+// Load returns the (possibly snapshotted) load of a site.
+func (s *Service) Load(site topology.SiteID) int {
+	if s.stale <= 0 {
+		return s.loadOf(site)
+	}
+	s.refresh()
+	return s.snapLoad[site]
+}
+
+// Replicas returns the (possibly snapshotted) replica locations of f,
+// sorted by site id.
+func (s *Service) Replicas(f storage.FileID) []topology.SiteID {
+	if s.stale <= 0 {
+		return s.cat.Replicas(f)
+	}
+	s.refresh()
+	return s.snapRep[f]
+}
+
+// HasReplica reports whether site currently holds f per the service's view.
+func (s *Service) HasReplica(f storage.FileID, site topology.SiteID) bool {
+	if s.stale <= 0 {
+		return s.cat.HasReplica(f, site)
+	}
+	s.refresh()
+	for _, r := range s.snapRep[f] {
+		if r == site {
+			return true
+		}
+	}
+	return false
+}
+
+// LeastLoaded returns the candidate with minimum load; ties are broken
+// uniformly at random from the tied set so no site is systematically
+// preferred. It panics on an empty candidate list.
+func (s *Service) LeastLoaded(candidates []topology.SiteID, tie *rng.Source) topology.SiteID {
+	if len(candidates) == 0 {
+		panic("gis: LeastLoaded with no candidates")
+	}
+	best := candidates[:1]
+	bestLoad := s.Load(candidates[0])
+	for _, c := range candidates[1:] {
+		l := s.Load(c)
+		switch {
+		case l < bestLoad:
+			bestLoad = l
+			best = []topology.SiteID{c}
+		case l == bestLoad:
+			best = append(best, c)
+		}
+	}
+	if len(best) == 1 || tie == nil {
+		return best[0]
+	}
+	return rng.Pick(tie, best)
+}

@@ -1,0 +1,59 @@
+package job
+
+import (
+	"testing"
+
+	"chicsim/internal/storage"
+)
+
+func TestLifecycle(t *testing.T) {
+	j := New(1, 2, 3, []storage.FileID{4}, 300)
+	if j.State != Created {
+		t.Fatalf("initial state = %v", j.State)
+	}
+	j.Advance(Submitted, 10)
+	j.Advance(Queued, 12)
+	j.Advance(Running, 50)
+	j.Advance(Done, 350)
+	if j.ResponseTime() != 340 {
+		t.Fatalf("ResponseTime = %v", j.ResponseTime())
+	}
+	if j.QueueWait() != 38 {
+		t.Fatalf("QueueWait = %v", j.QueueWait())
+	}
+	if j.SubmitTime != 10 || j.DispatchTime != 12 || j.StartTime != 50 || j.EndTime != 350 {
+		t.Fatal("timestamps wrong")
+	}
+}
+
+func TestIllegalTransitionPanics(t *testing.T) {
+	j := New(1, 0, 0, nil, 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on skipping states")
+		}
+	}()
+	j.Advance(Running, 0)
+}
+
+func TestResponseTimeBeforeDonePanics(t *testing.T) {
+	j := New(1, 0, 0, nil, 1)
+	j.Advance(Submitted, 0)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	_ = j.ResponseTime()
+}
+
+func TestStateStrings(t *testing.T) {
+	for s, want := range map[State]string{
+		Created: "Created", Submitted: "Submitted", Queued: "Queued",
+		Running: "Running", Done: "Done", State(99): "State(99)",
+	} {
+		if s.String() != want {
+			t.Errorf("State(%d).String() = %q, want %q", int(s), s, want)
+		}
+	}
+}

@@ -1,0 +1,182 @@
+// Package metrics collects the per-job and per-grid measurements the paper
+// reports: average job completion (response) time, average data transferred
+// per job, and average processor idle time (§5.2), plus supporting detail
+// (queue waits, transfer split by cause, makespan, percentiles).
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"chicsim/internal/desim"
+	"chicsim/internal/job"
+)
+
+// TransferPurpose labels why bytes moved.
+type TransferPurpose int
+
+const (
+	// FetchTransfer is a job-driven input fetch (coupled data movement).
+	FetchTransfer TransferPurpose = iota
+	// ReplicationTransfer is an asynchronous DS push (decoupled movement).
+	ReplicationTransfer
+	// OutputTransfer ships a job's output back to its submitting site
+	// (the output-cost extension; zero in the paper's configuration).
+	OutputTransfer
+)
+
+// JobRecord is the completed-job measurement row.
+type JobRecord struct {
+	ID          job.ID
+	User        job.UserID
+	Origin      int
+	Site        int
+	Submit      desim.Time
+	Dispatch    desim.Time
+	DataReady   desim.Time
+	Start       desim.Time
+	End         desim.Time
+	ComputeTime float64
+}
+
+// Response returns End − Submit.
+func (r JobRecord) Response() float64 { return r.End - r.Submit }
+
+// Collector accumulates measurements during a run.
+type Collector struct {
+	records     []JobRecord
+	fetchBytes  float64
+	replBytes   float64
+	outputBytes float64
+	fetchCount  int
+	replCount   int
+	outputCount int
+}
+
+// NewCollector returns an empty collector.
+func NewCollector() *Collector { return &Collector{} }
+
+// JobDone records a completed job.
+func (c *Collector) JobDone(j *job.Job) {
+	if j.State != job.Done {
+		panic(fmt.Sprintf("metrics: JobDone for job %d in state %v", j.ID, j.State))
+	}
+	c.records = append(c.records, JobRecord{
+		ID:          j.ID,
+		User:        j.User,
+		Origin:      int(j.Origin),
+		Site:        int(j.Site),
+		Submit:      j.SubmitTime,
+		Dispatch:    j.DispatchTime,
+		DataReady:   j.DataReady,
+		Start:       j.StartTime,
+		End:         j.EndTime,
+		ComputeTime: j.ComputeTime,
+	})
+}
+
+// Transfer records bytes moved for the given purpose.
+func (c *Collector) Transfer(p TransferPurpose, bytes float64) {
+	switch p {
+	case FetchTransfer:
+		c.fetchBytes += bytes
+		c.fetchCount++
+	case ReplicationTransfer:
+		c.replBytes += bytes
+		c.replCount++
+	case OutputTransfer:
+		c.outputBytes += bytes
+		c.outputCount++
+	default:
+		panic("metrics: unknown transfer purpose")
+	}
+}
+
+// JobsDone returns the number of completed jobs recorded.
+func (c *Collector) JobsDone() int { return len(c.records) }
+
+// Records returns the recorded rows (shared slice; treat as read-only).
+func (c *Collector) Records() []JobRecord { return c.records }
+
+// Results are the aggregate measurements of one Data Grid execution.
+type Results struct {
+	JobsDone int
+	Makespan float64 // time of last job completion
+
+	AvgResponseSec float64 // paper Figure 3a / 5
+	MedResponseSec float64
+	P95ResponseSec float64
+	AvgQueueWait   float64 // StartTime − DispatchTime
+
+	AvgDataPerJobMB float64 // paper Figure 3b (all traffic / jobs)
+	FetchMBPerJob   float64
+	ReplMBPerJob    float64
+	OutputMBPerJob  float64
+	FetchCount      int
+	ReplCount       int
+	OutputCount     int
+
+	IdleFrac float64 // paper Figure 4: fraction of processor-time idle
+}
+
+// Summarize computes the aggregates. busyCEIntegral is Σ over sites of
+// ∫ busy(t) dt up to makespan; totalCEs is the grid-wide processor count.
+func (c *Collector) Summarize(busyCEIntegral float64, totalCEs int) Results {
+	r := Results{
+		JobsDone:    len(c.records),
+		FetchCount:  c.fetchCount,
+		ReplCount:   c.replCount,
+		OutputCount: c.outputCount,
+	}
+	if len(c.records) == 0 {
+		return r
+	}
+	responses := make([]float64, 0, len(c.records))
+	for _, rec := range c.records {
+		responses = append(responses, rec.Response())
+		r.AvgQueueWait += rec.Start - rec.Dispatch
+		if rec.End > r.Makespan {
+			r.Makespan = rec.End
+		}
+	}
+	sort.Float64s(responses)
+	sum := 0.0
+	for _, v := range responses {
+		sum += v
+	}
+	n := float64(len(responses))
+	r.AvgResponseSec = sum / n
+	r.MedResponseSec = percentile(responses, 0.5)
+	r.P95ResponseSec = percentile(responses, 0.95)
+	r.AvgQueueWait /= n
+
+	const mb = 1e6
+	r.AvgDataPerJobMB = (c.fetchBytes + c.replBytes + c.outputBytes) / mb / n
+	r.FetchMBPerJob = c.fetchBytes / mb / n
+	r.ReplMBPerJob = c.replBytes / mb / n
+	r.OutputMBPerJob = c.outputBytes / mb / n
+
+	if totalCEs > 0 && r.Makespan > 0 {
+		busyFrac := busyCEIntegral / (float64(totalCEs) * r.Makespan)
+		r.IdleFrac = 1 - busyFrac
+		// Clamp tiny numeric excursions.
+		r.IdleFrac = math.Max(0, math.Min(1, r.IdleFrac))
+	}
+	return r
+}
+
+// percentile returns the p-quantile of sorted xs by nearest-rank.
+func percentile(sorted []float64, p float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := int(math.Ceil(p*float64(len(sorted)))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx]
+}

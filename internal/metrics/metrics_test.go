@@ -1,0 +1,130 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+
+	"chicsim/internal/job"
+	"chicsim/internal/storage"
+)
+
+func doneJob(id job.ID, submit, start, end float64) *job.Job {
+	j := job.New(id, 0, 0, []storage.FileID{1}, end-start)
+	j.Advance(job.Submitted, submit)
+	j.Advance(job.Queued, submit)
+	j.Advance(job.Running, start)
+	j.Advance(job.Done, end)
+	return j
+}
+
+func TestJobDoneAndSummarize(t *testing.T) {
+	c := NewCollector()
+	c.JobDone(doneJob(1, 0, 10, 110))  // response 110
+	c.JobDone(doneJob(2, 50, 60, 160)) // response 110
+	c.JobDone(doneJob(3, 0, 0, 400))   // response 400
+	c.Transfer(FetchTransfer, 300e6)
+	c.Transfer(ReplicationTransfer, 600e6)
+
+	// Busy integral: 3 CEs over makespan 400, busy 300 CE-seconds.
+	r := c.Summarize(300, 3)
+	if r.JobsDone != 3 {
+		t.Fatalf("JobsDone = %d", r.JobsDone)
+	}
+	if r.Makespan != 400 {
+		t.Fatalf("Makespan = %v", r.Makespan)
+	}
+	want := (110.0 + 110 + 400) / 3
+	if math.Abs(r.AvgResponseSec-want) > 1e-9 {
+		t.Fatalf("AvgResponse = %v, want %v", r.AvgResponseSec, want)
+	}
+	if r.MedResponseSec != 110 {
+		t.Fatalf("Median = %v", r.MedResponseSec)
+	}
+	if r.P95ResponseSec != 400 {
+		t.Fatalf("P95 = %v", r.P95ResponseSec)
+	}
+	if math.Abs(r.AvgDataPerJobMB-300) > 1e-9 {
+		t.Fatalf("AvgData = %v, want 300", r.AvgDataPerJobMB)
+	}
+	if math.Abs(r.FetchMBPerJob-100) > 1e-9 || math.Abs(r.ReplMBPerJob-200) > 1e-9 {
+		t.Fatalf("split = %v/%v", r.FetchMBPerJob, r.ReplMBPerJob)
+	}
+	// Idle: 1 - 300/(3*400) = 0.75.
+	if math.Abs(r.IdleFrac-0.75) > 1e-9 {
+		t.Fatalf("IdleFrac = %v", r.IdleFrac)
+	}
+	if r.FetchCount != 1 || r.ReplCount != 1 {
+		t.Fatalf("counts = %d/%d", r.FetchCount, r.ReplCount)
+	}
+}
+
+func TestEmptyCollector(t *testing.T) {
+	r := NewCollector().Summarize(0, 10)
+	if r.JobsDone != 0 || r.AvgResponseSec != 0 || r.IdleFrac != 0 {
+		t.Fatalf("empty results = %+v", r)
+	}
+}
+
+func TestJobDonePanicsOnUnfinished(t *testing.T) {
+	c := NewCollector()
+	j := job.New(1, 0, 0, nil, 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	c.JobDone(j)
+}
+
+func TestIdleClamped(t *testing.T) {
+	c := NewCollector()
+	c.JobDone(doneJob(1, 0, 0, 100))
+	// Busy integral exceeding capacity (numeric excursion) clamps to 0.
+	r := c.Summarize(1e9, 1)
+	if r.IdleFrac != 0 {
+		t.Fatalf("IdleFrac = %v, want clamp to 0", r.IdleFrac)
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	if got := percentile(xs, 0.5); got != 5 {
+		t.Fatalf("p50 = %v", got)
+	}
+	if got := percentile(xs, 0.95); got != 10 {
+		t.Fatalf("p95 = %v", got)
+	}
+	if got := percentile(xs, 0.01); got != 1 {
+		t.Fatalf("p1 = %v", got)
+	}
+	if got := percentile(nil, 0.5); got != 0 {
+		t.Fatalf("empty = %v", got)
+	}
+}
+
+func TestRecordFields(t *testing.T) {
+	c := NewCollector()
+	j := job.New(7, 3, 2, []storage.FileID{1}, 50)
+	j.Advance(job.Submitted, 5)
+	j.Advance(job.Queued, 6)
+	j.Advance(job.Running, 10)
+	j.Advance(job.Done, 60)
+	j.Site = 4
+	c.JobDone(j)
+	rec := c.Records()[0]
+	if rec.ID != 7 || rec.User != 3 || rec.Origin != 2 || rec.Site != 4 {
+		t.Fatalf("identity fields wrong: %+v", rec)
+	}
+	if rec.Response() != 55 {
+		t.Fatalf("Response = %v", rec.Response())
+	}
+}
+
+func TestTransferPanicsOnUnknownPurpose(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewCollector().Transfer(TransferPurpose(9), 1)
+}

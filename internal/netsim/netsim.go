@@ -1,0 +1,451 @@
+// Package netsim simulates wide-area data transfers over a routed topology
+// using a fluid-flow model.
+//
+// The paper's contention model is: "We model network contention by keeping
+// track of the number of simultaneous data transfers across a link and
+// decreasing the bandwidth available for each transfer accordingly." That
+// is the default EqualShare policy here: a link with bandwidth B and n
+// concurrent flows gives each flow B/n, and a flow's end-to-end rate is the
+// minimum share along its path. A max-min fair policy is provided as an
+// ablation (see DESIGN.md §6).
+//
+// Whenever any flow starts or finishes, all in-flight flows have their
+// transferred bytes advanced at the old rates and their completion events
+// rescheduled at the new rates.
+package netsim
+
+import (
+	"fmt"
+	"math"
+
+	"chicsim/internal/desim"
+	"chicsim/internal/topology"
+)
+
+// SharingPolicy selects how concurrent flows split link bandwidth.
+type SharingPolicy int
+
+const (
+	// EqualShare is the paper's model: each flow on a link gets
+	// bandwidth/#flows; a flow's rate is its minimum share on the path.
+	EqualShare SharingPolicy = iota
+	// MaxMinFair runs progressive filling so that bandwidth unused by
+	// bottlenecked flows is redistributed to the others.
+	MaxMinFair
+)
+
+func (p SharingPolicy) String() string {
+	switch p {
+	case EqualShare:
+		return "EqualShare"
+	case MaxMinFair:
+		return "MaxMinFair"
+	default:
+		return fmt.Sprintf("SharingPolicy(%d)", int(p))
+	}
+}
+
+// Flow is an in-progress transfer. Exposed fields are read-only snapshots
+// maintained by the Network.
+type Flow struct {
+	ID        int
+	Src, Dst  topology.SiteID
+	Size      float64 // total bytes
+	remaining float64
+	rate      float64 // bytes/sec at last update
+	path      []topology.LinkID
+	done      func(*Flow)
+	ev        *desim.Event
+	started   desim.Time
+	canceled  bool
+}
+
+// Remaining returns the bytes not yet delivered as of the last rate change.
+func (f *Flow) Remaining() float64 { return f.remaining }
+
+// Rate returns the current transfer rate in bytes/sec.
+func (f *Flow) Rate() float64 { return f.rate }
+
+// Started returns the virtual time the transfer began.
+func (f *Flow) Started() desim.Time { return f.started }
+
+// Network manages all concurrent flows over one topology.
+type Network struct {
+	eng    *desim.Engine
+	topo   *topology.Topology
+	policy SharingPolicy
+
+	// latencyPerHop is a fixed startup delay per link crossed before a
+	// flow begins moving bytes (propagation + protocol setup). 0 by
+	// default — the paper models transfer cost purely as size/bandwidth.
+	latencyPerHop float64
+
+	// bwOverride holds dynamic per-link bandwidth overrides (failures,
+	// degradations); -1 means "use the topology's nominal bandwidth".
+	bwOverride []float64
+
+	flows   map[int]*Flow
+	ordered []*Flow // active flows in admission order: deterministic iteration
+	onLink  []int   // active flow count per link
+	nextID  int
+
+	// Accounting.
+	bytesMoved   float64   // bytes delivered by completed flows
+	transfers    int       // completed transfers
+	linkBusy     []float64 // integral of (active?1:0) dt per link
+	linkBytes    []float64 // bytes attributed per link (Σ rate·dt)
+	lastAccounts desim.Time
+}
+
+// New creates a network simulator bound to an engine and topology.
+func New(eng *desim.Engine, topo *topology.Topology, policy SharingPolicy) *Network {
+	n := &Network{
+		eng:    eng,
+		topo:   topo,
+		policy: policy,
+		flows:  make(map[int]*Flow),
+		onLink: make([]int, topo.NumLinks()),
+
+		bwOverride: make([]float64, topo.NumLinks()),
+		linkBusy:   make([]float64, topo.NumLinks()),
+		linkBytes:  make([]float64, topo.NumLinks()),
+	}
+	for i := range n.bwOverride {
+		n.bwOverride[i] = -1
+	}
+	return n
+}
+
+// SetLatencyPerHop sets the fixed startup delay charged per link crossed
+// before a transfer begins moving bytes. Applies to transfers started
+// after the call.
+func (n *Network) SetLatencyPerHop(seconds float64) {
+	if seconds < 0 || math.IsNaN(seconds) {
+		panic(fmt.Sprintf("netsim: invalid latency %v", seconds))
+	}
+	n.latencyPerHop = seconds
+}
+
+// linkBandwidth returns the effective bandwidth of a link, honoring any
+// dynamic override.
+func (n *Network) linkBandwidth(l topology.LinkID) float64 {
+	if o := n.bwOverride[l]; o >= 0 {
+		return o
+	}
+	return n.topo.Link(l).Bandwidth
+}
+
+// SetLinkBandwidth dynamically changes one link's bandwidth (degradation
+// or repair), immediately re-sharing all in-flight transfers. A bandwidth
+// of 0 stalls flows crossing the link until it recovers; negative restores
+// the nominal value.
+func (n *Network) SetLinkBandwidth(l topology.LinkID, bytesPerSec float64) {
+	if math.IsNaN(bytesPerSec) {
+		panic("netsim: NaN bandwidth")
+	}
+	n.settle()
+	if bytesPerSec < 0 {
+		n.bwOverride[l] = -1
+	} else {
+		n.bwOverride[l] = bytesPerSec
+	}
+	n.reflow()
+}
+
+// Transfer starts moving size bytes from src to dst and calls done when the
+// last byte arrives. A zero-hop transfer (src == dst) or zero-size transfer
+// completes via an immediately scheduled event, preserving event ordering.
+// It returns the flow handle, which may be passed to Cancel.
+func (n *Network) Transfer(src, dst topology.SiteID, size float64, done func(*Flow)) *Flow {
+	if size < 0 || math.IsNaN(size) {
+		panic(fmt.Sprintf("netsim: Transfer with invalid size %v", size))
+	}
+	f := &Flow{
+		ID:        n.nextID,
+		Src:       src,
+		Dst:       dst,
+		Size:      size,
+		remaining: size,
+		path:      n.topo.Route(src, dst),
+		done:      done,
+		started:   n.eng.Now(),
+	}
+	n.nextID++
+	if len(f.path) == 0 || size == 0 {
+		// Local or empty: delivered "instantly" but still via the event
+		// queue so callers observe a consistent ordering.
+		f.ev = n.eng.Schedule(0, func() { n.finish(f) })
+		return f
+	}
+	if n.latencyPerHop > 0 {
+		// Startup latency: the flow consumes no bandwidth until the path
+		// is established.
+		f.ev = n.eng.Schedule(n.latencyPerHop*float64(len(f.path)), func() { n.activate(f) })
+		return f
+	}
+	n.activate(f)
+	return f
+}
+
+// activate admits a flow to the bandwidth-sharing pool.
+func (n *Network) activate(f *Flow) {
+	if f.canceled {
+		return
+	}
+	n.settle()
+	n.flows[f.ID] = f
+	n.ordered = append(n.ordered, f)
+	for _, l := range f.path {
+		n.onLink[l]++
+	}
+	n.reflow()
+}
+
+// Cancel aborts an in-flight transfer; its done callback never fires.
+// Bytes already moved remain accounted as link traffic.
+func (n *Network) Cancel(f *Flow) {
+	if f == nil || f.canceled {
+		return
+	}
+	f.canceled = true
+	if f.ev != nil {
+		n.eng.Cancel(f.ev)
+	}
+	if _, ok := n.flows[f.ID]; !ok {
+		return
+	}
+	n.settle()
+	n.remove(f)
+	n.reflow()
+}
+
+// ActiveFlows returns the number of in-flight (non-local) transfers.
+func (n *Network) ActiveFlows() int { return len(n.flows) }
+
+// BytesMoved returns total bytes delivered by completed transfers.
+func (n *Network) BytesMoved() float64 { return n.bytesMoved }
+
+// CompletedTransfers returns the number of finished transfers (including
+// zero-hop local ones).
+func (n *Network) CompletedTransfers() int { return n.transfers }
+
+// LinkUtilization returns, for every link, the fraction of [0, now] during
+// which at least one flow crossed it. Call settle-free at end of run.
+func (n *Network) LinkUtilization() []float64 {
+	n.settle()
+	out := make([]float64, len(n.linkBusy))
+	now := n.eng.Now()
+	if now <= 0 {
+		return out
+	}
+	for i, b := range n.linkBusy {
+		out[i] = b / now
+	}
+	return out
+}
+
+// LinkBytes returns the bytes carried per link so far.
+func (n *Network) LinkBytes() []float64 {
+	n.settle()
+	out := make([]float64, len(n.linkBytes))
+	copy(out, n.linkBytes)
+	return out
+}
+
+// CongestionOn reports the current number of active flows crossing the
+// route between two sites at its most loaded link. The adaptive scheduler
+// extension uses this as its congestion signal.
+func (n *Network) CongestionOn(src, dst topology.SiteID) int {
+	maxFlows := 0
+	for _, l := range n.topo.Route(src, dst) {
+		if c := n.onLink[l]; c > maxFlows {
+			maxFlows = c
+		}
+	}
+	return maxFlows
+}
+
+// PredictTime estimates, under current conditions, the seconds needed to
+// move size bytes between the sites (∞-free: returns size/rate with at
+// least one competing slot assumed for the new flow itself).
+func (n *Network) PredictTime(src, dst topology.SiteID, size float64) float64 {
+	path := n.topo.Route(src, dst)
+	if len(path) == 0 {
+		return 0
+	}
+	rate := math.Inf(1)
+	for _, l := range path {
+		share := n.linkBandwidth(l) / float64(n.onLink[l]+1)
+		if share < rate {
+			rate = share
+		}
+	}
+	if rate <= 0 {
+		return math.Inf(1)
+	}
+	return size/rate + n.latencyPerHop*float64(len(path))
+}
+
+// settle advances every active flow's remaining bytes to "now" at the rates
+// fixed at the previous change point, and accrues link busy-time integrals.
+func (n *Network) settle() {
+	now := n.eng.Now()
+	dt := now - n.lastAccounts
+	if dt < 0 {
+		panic("netsim: time went backwards")
+	}
+	if dt > 0 {
+		for _, f := range n.ordered {
+			f.remaining -= f.rate * dt
+			if f.remaining < 1e-9 {
+				f.remaining = 0
+			}
+			for _, l := range f.path {
+				n.linkBytes[l] += f.rate * dt
+			}
+		}
+		for l, c := range n.onLink {
+			if c > 0 {
+				n.linkBusy[l] += dt
+			}
+		}
+	}
+	n.lastAccounts = now
+}
+
+// reflow recomputes all rates under the sharing policy and reschedules each
+// flow's completion event. Must be called with settled accounts.
+func (n *Network) reflow() {
+	switch n.policy {
+	case EqualShare:
+		for _, f := range n.ordered {
+			rate := math.Inf(1)
+			for _, l := range f.path {
+				share := n.linkBandwidth(l) / float64(n.onLink[l])
+				if share < rate {
+					rate = share
+				}
+			}
+			f.rate = rate
+		}
+	case MaxMinFair:
+		n.maxMin()
+	default:
+		panic("netsim: unknown sharing policy")
+	}
+	for _, f := range n.ordered {
+		if f.ev != nil {
+			n.eng.Cancel(f.ev)
+			f.ev = nil
+		}
+		if f.rate <= 0 {
+			continue // stalled (a link on the path is down); no completion
+		}
+		f2 := f
+		f.ev = n.eng.Schedule(f.remaining/f.rate, func() { n.complete(f2) })
+	}
+}
+
+// maxMin runs progressive filling: repeatedly saturate the link with the
+// smallest fair share among unfrozen flows, freeze its flows at that rate,
+// and redistribute.
+func (n *Network) maxMin() {
+	type linkState struct {
+		cap   float64
+		count int
+	}
+	ls := make([]linkState, n.topo.NumLinks())
+	for i := range ls {
+		ls[i] = linkState{cap: n.linkBandwidth(topology.LinkID(i))}
+	}
+	frozen := make(map[int]bool, len(n.ordered))
+	for _, f := range n.ordered {
+		f.rate = 0
+		for _, l := range f.path {
+			ls[l].count++
+		}
+	}
+	remaining := len(n.ordered)
+	for remaining > 0 {
+		// Find bottleneck link: min cap/count over links with count > 0.
+		bottleneck := -1
+		best := math.Inf(1)
+		for i := range ls {
+			if ls[i].count > 0 {
+				if share := ls[i].cap / float64(ls[i].count); share < best {
+					best = share
+					bottleneck = i
+				}
+			}
+		}
+		if bottleneck < 0 {
+			break
+		}
+		// Freeze all unfrozen flows crossing the bottleneck at `best`,
+		// in admission order for determinism.
+		for _, f := range n.ordered {
+			if frozen[f.ID] {
+				continue
+			}
+			crosses := false
+			for _, l := range f.path {
+				if int(l) == bottleneck {
+					crosses = true
+					break
+				}
+			}
+			if !crosses {
+				continue
+			}
+			f.rate = best
+			frozen[f.ID] = true
+			remaining--
+			for _, l := range f.path {
+				ls[l].cap -= best
+				if ls[l].cap < 0 {
+					ls[l].cap = 0
+				}
+				ls[l].count--
+			}
+		}
+	}
+}
+
+// complete fires when a flow's completion event triggers.
+func (n *Network) complete(f *Flow) {
+	n.settle()
+	f.remaining = 0
+	n.remove(f)
+	n.reflow()
+	n.finish(f)
+}
+
+func (n *Network) remove(f *Flow) {
+	if _, ok := n.flows[f.ID]; !ok {
+		return
+	}
+	delete(n.flows, f.ID)
+	for i, of := range n.ordered {
+		if of.ID == f.ID {
+			n.ordered = append(n.ordered[:i], n.ordered[i+1:]...)
+			break
+		}
+	}
+	for _, l := range f.path {
+		n.onLink[l]--
+		if n.onLink[l] < 0 {
+			panic("netsim: negative link occupancy")
+		}
+	}
+}
+
+func (n *Network) finish(f *Flow) {
+	if f.canceled {
+		return
+	}
+	n.bytesMoved += f.Size
+	n.transfers++
+	if f.done != nil {
+		f.done(f)
+	}
+}

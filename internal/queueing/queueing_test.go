@@ -1,0 +1,178 @@
+package queueing
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestMM1Formulas(t *testing.T) {
+	// Textbook case: λ=0.5, μ=1 → Wq = 0.5/(1·0.5) = 1, L = 1.
+	w, err := MM1AvgWait(0.5, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(w-1) > 1e-12 {
+		t.Fatalf("Wq = %v, want 1", w)
+	}
+	l, err := MM1AvgInSystem(0.5, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(l-1) > 1e-12 {
+		t.Fatalf("L = %v, want 1", l)
+	}
+}
+
+func TestMM1Errors(t *testing.T) {
+	if _, err := MM1AvgWait(1, 1); err == nil {
+		t.Fatal("unstable system accepted")
+	}
+	if _, err := MM1AvgWait(-1, 1); err == nil {
+		t.Fatal("negative rate accepted")
+	}
+	if _, err := MM1AvgInSystem(2, 1); err == nil {
+		t.Fatal("unstable L accepted")
+	}
+}
+
+func TestErlangC(t *testing.T) {
+	// Known value: c=2, a=1 → C(2,1) = 1/3.
+	p, err := ErlangC(2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(p-1.0/3) > 1e-12 {
+		t.Fatalf("ErlangC(2,1) = %v, want 1/3", p)
+	}
+	// c=1 reduces to ρ.
+	p, err = ErlangC(1, 0.7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(p-0.7) > 1e-12 {
+		t.Fatalf("ErlangC(1,0.7) = %v, want 0.7", p)
+	}
+	if _, err := ErlangC(0, 0.5); err == nil {
+		t.Fatal("c=0 accepted")
+	}
+	if _, err := ErlangC(2, 2.5); err == nil {
+		t.Fatal("overload accepted")
+	}
+}
+
+func TestMMCReducesToMM1(t *testing.T) {
+	w1, err := MM1AvgWait(0.6, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wc, err := MMCAvgWait(0.6, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(w1-wc) > 1e-12 {
+		t.Fatalf("MMC(c=1) %v != MM1 %v", wc, w1)
+	}
+}
+
+func TestUtilization(t *testing.T) {
+	if u := MMCUtilization(3, 1, 4); math.Abs(u-0.75) > 1e-12 {
+		t.Fatalf("rho = %v", u)
+	}
+	if !math.IsNaN(MMCUtilization(1, 1, 0)) {
+		t.Fatal("c=0 should be NaN")
+	}
+}
+
+// The simulator validation: DES results must match closed-form M/M/1 and
+// M/M/c within Monte-Carlo tolerance. This exercises the event engine,
+// exponential sampling, and time-integral accounting end-to-end.
+func TestSimMatchesMM1Theory(t *testing.T) {
+	const lambda, mu = 0.8, 1.0
+	want, _ := MM1AvgWait(lambda, mu)
+	res, err := SimulateMMC(lambda, mu, 1, 200000, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Served != 200000 {
+		t.Fatalf("served = %d", res.Served)
+	}
+	if rel := math.Abs(res.AvgWait-want) / want; rel > 0.05 {
+		t.Fatalf("sim Wq = %v, theory %v (rel err %.3f)", res.AvgWait, want, rel)
+	}
+	wantL, _ := MM1AvgInSystem(lambda, mu)
+	if rel := math.Abs(res.AvgInSystem-wantL) / wantL; rel > 0.05 {
+		t.Fatalf("sim L = %v, theory %v", res.AvgInSystem, wantL)
+	}
+	if rel := math.Abs(res.Utilization-lambda/mu) / (lambda / mu); rel > 0.02 {
+		t.Fatalf("sim rho = %v, theory %v", res.Utilization, lambda/mu)
+	}
+}
+
+func TestSimMatchesMMCTheory(t *testing.T) {
+	const lambda, mu = 2.4, 1.0
+	const c = 3
+	want, _ := MMCAvgWait(lambda, mu, c)
+	res, err := SimulateMMC(lambda, mu, c, 200000, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel := math.Abs(res.AvgWait-want) / want; rel > 0.06 {
+		t.Fatalf("sim Wq = %v, theory %v (rel err %.3f)", res.AvgWait, want, rel)
+	}
+	wantRho := MMCUtilization(lambda, mu, c)
+	if rel := math.Abs(res.Utilization-wantRho) / wantRho; rel > 0.02 {
+		t.Fatalf("sim rho = %v, theory %v", res.Utilization, wantRho)
+	}
+}
+
+func TestSimDeterministic(t *testing.T) {
+	a, err := SimulateMMC(0.5, 1, 2, 5000, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := SimulateMMC(0.5, 1, 2, 5000, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.AvgWait != b.AvgWait || a.AvgInSystem != b.AvgInSystem {
+		t.Fatal("simulation not deterministic")
+	}
+}
+
+func TestSimInvalidParams(t *testing.T) {
+	for _, c := range []struct{ l, m float64 }{{0, 1}, {1, 0}, {-1, 1}} {
+		if _, err := SimulateMMC(c.l, c.m, 1, 10, 1); err == nil {
+			t.Fatalf("accepted λ=%v μ=%v", c.l, c.m)
+		}
+	}
+	if _, err := SimulateMMC(1, 2, 0, 10, 1); err == nil {
+		t.Fatal("accepted c=0")
+	}
+	if _, err := SimulateMMC(1, 2, 1, 0, 1); err == nil {
+		t.Fatal("accepted n=0")
+	}
+}
+
+// Property: adding servers never increases the analytical wait.
+func TestQuickMoreServersNeverWorse(t *testing.T) {
+	f := func(seedLambda, seedMu uint16) bool {
+		lambda := 0.1 + float64(seedLambda%80)/100 // 0.1..0.89
+		mu := 1.0 + float64(seedMu%100)/100        // 1.0..1.99
+		prev := math.Inf(1)
+		for c := 1; c <= 4; c++ {
+			w, err := MMCAvgWait(lambda, mu, c)
+			if err != nil {
+				return false
+			}
+			if w > prev+1e-12 {
+				return false
+			}
+			prev = w
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,98 @@
+package queueing
+
+import (
+	"fmt"
+
+	"chicsim/internal/desim"
+	"chicsim/internal/rng"
+)
+
+// SimResult summarizes a simulated queueing run.
+type SimResult struct {
+	Served      int
+	AvgWait     float64 // time in queue, excluding service
+	AvgInSystem float64 // time-averaged number in system
+	Utilization float64 // busy-server time fraction
+}
+
+// SimulateMMC runs an M/M/c queue for `customers` arrivals on a fresh
+// simulation engine: Poisson arrivals at rate lambda, exponential service
+// at rate mu, c servers, FIFO discipline. Identical seeds reproduce
+// identical runs.
+func SimulateMMC(lambda, mu float64, c, customers int, seed uint64) (SimResult, error) {
+	if lambda <= 0 || mu <= 0 || c <= 0 || customers <= 0 {
+		return SimResult{}, fmt.Errorf("queueing: invalid parameters (λ=%v μ=%v c=%d n=%d)", lambda, mu, c, customers)
+	}
+	eng := desim.New()
+	src := rng.New(seed)
+	arrivals := src.Derive("arrivals")
+	services := src.Derive("services")
+
+	type customer struct{ arrived desim.Time }
+	var queue []customer
+	busy := 0
+	served := 0
+	totalWait := 0.0
+
+	// Time integrals for L (number in system) and utilization.
+	inSystem := 0
+	lastT := desim.Time(0)
+	areaL := 0.0
+	areaBusy := 0.0
+	account := func() {
+		now := eng.Now()
+		dt := now - lastT
+		areaL += float64(inSystem) * dt
+		areaBusy += float64(busy) * dt
+		lastT = now
+	}
+
+	var depart func()
+	startService := func(cust customer) {
+		busy++
+		totalWait += eng.Now() - cust.arrived
+		eng.Schedule(services.Exp(1/mu), depart)
+	}
+	depart = func() {
+		account()
+		busy--
+		inSystem--
+		served++
+		if len(queue) > 0 {
+			next := queue[0]
+			queue = queue[1:]
+			startService(next)
+		}
+	}
+
+	remaining := customers
+	var arrive func()
+	arrive = func() {
+		account()
+		inSystem++
+		cust := customer{arrived: eng.Now()}
+		if busy < c {
+			startService(cust)
+		} else {
+			queue = append(queue, cust)
+		}
+		remaining--
+		if remaining > 0 {
+			eng.Schedule(arrivals.Exp(1/lambda), arrive)
+		}
+	}
+	eng.Schedule(arrivals.Exp(1/lambda), arrive)
+	eng.Run()
+	account()
+
+	end := eng.Now()
+	res := SimResult{
+		Served:  served,
+		AvgWait: totalWait / float64(served),
+	}
+	if end > 0 {
+		res.AvgInSystem = areaL / end
+		res.Utilization = areaBusy / (float64(c) * end)
+	}
+	return res, nil
+}

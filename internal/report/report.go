@@ -1,0 +1,280 @@
+// Package report renders experiment results as the ASCII tables and CSV
+// series corresponding to the paper's figures.
+package report
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"chicsim/internal/core"
+	"chicsim/internal/experiments"
+)
+
+// Metric selects which measurement a figure-style table shows.
+type Metric int
+
+const (
+	// ResponseTime renders average response time per job in seconds
+	// (Figures 3a and 5).
+	ResponseTime Metric = iota
+	// DataTransferred renders average data transferred per job in MB
+	// (Figure 3b).
+	DataTransferred
+	// IdleTime renders average processor idle time in percent (Figure 4).
+	IdleTime
+)
+
+func (m Metric) String() string {
+	switch m {
+	case ResponseTime:
+		return "avg response time (s)"
+	case DataTransferred:
+		return "avg data transferred/job (MB)"
+	case IdleTime:
+		return "processor idle time (%)"
+	default:
+		return fmt.Sprintf("Metric(%d)", int(m))
+	}
+}
+
+func value(cr *experiments.CellResult, m Metric) float64 {
+	switch m {
+	case ResponseTime:
+		return cr.AvgResponseSec
+	case DataTransferred:
+		return cr.AvgDataPerJobMB
+	case IdleTime:
+		return 100 * cr.AvgIdleFrac
+	default:
+		panic("report: unknown metric")
+	}
+}
+
+// Grid writes a figure-3-style matrix: one row per ES algorithm, one
+// column per DS algorithm, at a fixed bandwidth.
+func Grid(w io.Writer, results []experiments.CellResult, m Metric, esNames, dsNames []string, bandwidth float64) {
+	idx := experiments.ByCell(results)
+	fmt.Fprintf(w, "%s at %g MB/s\n", m, bandwidth)
+	fmt.Fprintf(w, "%-16s", "")
+	for _, dsName := range dsNames {
+		fmt.Fprintf(w, "%18s", dsName)
+	}
+	fmt.Fprintln(w)
+	for _, esName := range esNames {
+		fmt.Fprintf(w, "%-16s", esName)
+		for _, dsName := range dsNames {
+			cr, ok := idx[experiments.Cell{ES: esName, DS: dsName, BandwidthMBps: bandwidth}]
+			if !ok || cr.Err != nil || len(cr.Runs) == 0 {
+				fmt.Fprintf(w, "%18s", "-")
+				continue
+			}
+			fmt.Fprintf(w, "%18.1f", value(cr, m))
+		}
+		fmt.Fprintln(w)
+	}
+}
+
+// Bandwidths writes a figure-5-style table: one row per ES algorithm, one
+// column per bandwidth, at a fixed DS algorithm, showing response time.
+func Bandwidths(w io.Writer, results []experiments.CellResult, esNames []string, dsName string, bws []float64) {
+	idx := experiments.ByCell(results)
+	fmt.Fprintf(w, "avg response time (s), DS=%s\n", dsName)
+	fmt.Fprintf(w, "%-16s", "")
+	for _, bw := range bws {
+		fmt.Fprintf(w, "%14.0fMB/s", bw)
+	}
+	fmt.Fprintln(w)
+	for _, esName := range esNames {
+		fmt.Fprintf(w, "%-16s", esName)
+		for _, bw := range bws {
+			cr, ok := idx[experiments.Cell{ES: esName, DS: dsName, BandwidthMBps: bw}]
+			if !ok || cr.Err != nil || len(cr.Runs) == 0 {
+				fmt.Fprintf(w, "%18s", "-")
+				continue
+			}
+			fmt.Fprintf(w, "%18.1f", cr.AvgResponseSec)
+		}
+		fmt.Fprintln(w)
+	}
+}
+
+// MarkdownGrid writes a figure matrix as a GitHub-flavored markdown table
+// (one row per ES algorithm, one column per DS algorithm) — the format
+// used by EXPERIMENTS.md.
+func MarkdownGrid(w io.Writer, results []experiments.CellResult, m Metric, esNames, dsNames []string, bandwidth float64) {
+	idx := experiments.ByCell(results)
+	fmt.Fprintf(w, "| %s |", m)
+	for _, dsName := range dsNames {
+		fmt.Fprintf(w, " %s |", dsName)
+	}
+	fmt.Fprintln(w)
+	fmt.Fprint(w, "|---|")
+	for range dsNames {
+		fmt.Fprint(w, "---|")
+	}
+	fmt.Fprintln(w)
+	for _, esName := range esNames {
+		fmt.Fprintf(w, "| %s |", esName)
+		for _, dsName := range dsNames {
+			cr, ok := idx[experiments.Cell{ES: esName, DS: dsName, BandwidthMBps: bandwidth}]
+			if !ok || cr.Err != nil || len(cr.Runs) == 0 {
+				fmt.Fprint(w, " – |")
+				continue
+			}
+			fmt.Fprintf(w, " %.1f |", value(cr, m))
+		}
+		fmt.Fprintln(w)
+	}
+}
+
+// CSV writes every cell as one comma-separated row, suitable for plotting.
+func CSV(w io.Writer, results []experiments.CellResult) {
+	fmt.Fprintln(w, "es,ds,bandwidth_mbps,seeds,avg_response_s,std_response_s,avg_data_mb_per_job,idle_pct")
+	for i := range results {
+		cr := &results[i]
+		if cr.Err != nil {
+			fmt.Fprintf(w, "%s,%s,%g,0,error,%q,,\n", cr.Cell.ES, cr.Cell.DS, cr.Cell.BandwidthMBps, cr.Err.Error())
+			continue
+		}
+		fmt.Fprintf(w, "%s,%s,%g,%d,%.2f,%.2f,%.2f,%.2f\n",
+			cr.Cell.ES, cr.Cell.DS, cr.Cell.BandwidthMBps, len(cr.Runs),
+			cr.AvgResponseSec, cr.StdResponseSec, cr.AvgDataPerJobMB, 100*cr.AvgIdleFrac)
+	}
+}
+
+// heatChars maps busy fraction to display density.
+const heatChars = " .:-=+*#%@"
+
+// Heatmap renders per-site processor occupancy over time: one row per
+// site, one character column per (downsampled) snapshot, darker = busier.
+// It visualizes the paper's hotspot story at a glance — JobDataPresent
+// without replication shows a few dark rows on a pale field.
+func Heatmap(w io.Writer, samples []core.Sample, maxWidth int) {
+	if len(samples) == 0 {
+		fmt.Fprintln(w, "(no samples; set Config.SampleInterval)")
+		return
+	}
+	if maxWidth <= 0 {
+		maxWidth = 80
+	}
+	sites := len(samples[0].SiteBusy)
+	cols := len(samples)
+	stride := 1
+	if cols > maxWidth {
+		stride = (cols + maxWidth - 1) / maxWidth
+	}
+	fmt.Fprintf(w, "site occupancy, %d sites × %d samples (t=%.0f..%.0f s), '%c'=idle '%c'=full\n",
+		sites, cols, samples[0].T, samples[cols-1].T, heatChars[0], heatChars[len(heatChars)-1])
+	for s := 0; s < sites; s++ {
+		fmt.Fprintf(w, "s%-3d |", s)
+		for c := 0; c < cols; c += stride {
+			// Average the bucket.
+			sum, n := 0.0, 0
+			for k := c; k < c+stride && k < cols; k++ {
+				sum += samples[k].SiteBusy[s]
+				n++
+			}
+			frac := sum / float64(n)
+			idx := int(frac * float64(len(heatChars)-1))
+			if idx < 0 {
+				idx = 0
+			}
+			if idx >= len(heatChars) {
+				idx = len(heatChars) - 1
+			}
+			fmt.Fprintf(w, "%c", heatChars[idx])
+		}
+		fmt.Fprintln(w, "|")
+	}
+}
+
+// Timeline renders grid-wide aggregates per sample: mean occupancy, queued
+// jobs, and in-flight transfers.
+func Timeline(w io.Writer, samples []core.Sample, maxWidth int) {
+	if len(samples) == 0 {
+		fmt.Fprintln(w, "(no samples; set Config.SampleInterval)")
+		return
+	}
+	if maxWidth <= 0 {
+		maxWidth = 80
+	}
+	stride := 1
+	if len(samples) > maxWidth {
+		stride = (len(samples) + maxWidth - 1) / maxWidth
+	}
+	fmt.Fprintln(w, "grid occupancy over time (each char = mean busy fraction):")
+	fmt.Fprint(w, "     |")
+	for c := 0; c < len(samples); c += stride {
+		sum, n := 0.0, 0
+		for k := c; k < c+stride && k < len(samples); k++ {
+			for _, b := range samples[k].SiteBusy {
+				sum += b
+				n++
+			}
+		}
+		frac := sum / float64(n)
+		idx := int(frac * float64(len(heatChars)-1))
+		if idx >= len(heatChars) {
+			idx = len(heatChars) - 1
+		}
+		fmt.Fprintf(w, "%c", heatChars[idx])
+	}
+	fmt.Fprintln(w, "|")
+	peakQ, peakF := 0, 0
+	for _, s := range samples {
+		if s.QueuedJobs > peakQ {
+			peakQ = s.QueuedJobs
+		}
+		if s.ActiveFlows > peakF {
+			peakF = s.ActiveFlows
+		}
+	}
+	fmt.Fprintf(w, "peak queued jobs: %d, peak concurrent transfers: %d\n", peakQ, peakF)
+}
+
+// Significance prints the Welch t-test verdict on the response times of
+// two cells — the statistical form of the paper's "we found no significant
+// performance differences between the two replication algorithms" (§5.3).
+func Significance(w io.Writer, results []experiments.CellResult, a, b experiments.Cell) {
+	idx := experiments.ByCell(results)
+	ca, cb := idx[a], idx[b]
+	if ca == nil || cb == nil {
+		fmt.Fprintf(w, "significance %v vs %v: cells not present\n", a, b)
+		return
+	}
+	r, err := experiments.CompareResponse(ca, cb)
+	if err != nil {
+		fmt.Fprintf(w, "significance %v vs %v: %v\n", a, b, err)
+		return
+	}
+	verdict := "NO significant difference (p > 0.05)"
+	if r.SignificantAt05 {
+		verdict = "SIGNIFICANT difference (p < 0.05)"
+	}
+	fmt.Fprintf(w, "%s (%.1f s) vs %s (%.1f s): t=%.2f df=%.1f → %s\n",
+		a, ca.AvgResponseSec, b, cb.AvgResponseSec, r.T, r.DF, verdict)
+}
+
+// Histogram renders a text histogram of per-rank request counts — the
+// Figure 2 reproduction. Bars are scaled to maxWidth characters; only the
+// first `ranks` datasets are shown.
+func Histogram(w io.Writer, counts []int, ranks, maxWidth int) {
+	if ranks > len(counts) {
+		ranks = len(counts)
+	}
+	peak := 0
+	for _, c := range counts[:ranks] {
+		if c > peak {
+			peak = c
+		}
+	}
+	if peak == 0 {
+		fmt.Fprintln(w, "(no requests)")
+		return
+	}
+	for i := 0; i < ranks; i++ {
+		bar := counts[i] * maxWidth / peak
+		fmt.Fprintf(w, "%4d %6d %s\n", i, counts[i], strings.Repeat("#", bar))
+	}
+}

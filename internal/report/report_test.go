@@ -1,0 +1,264 @@
+package report
+
+import (
+	"strings"
+	"testing"
+
+	"chicsim/internal/core"
+	"chicsim/internal/experiments"
+	"chicsim/internal/metrics"
+)
+
+func fakeResults() []experiments.CellResult {
+	var out []experiments.CellResult
+	v := 100.0
+	for _, dsName := range core.PaperDatasetNames() {
+		for _, esName := range core.PaperExternalNames() {
+			cr := experiments.CellResult{
+				Cell:            experiments.Cell{ES: esName, DS: dsName, BandwidthMBps: 10},
+				AvgResponseSec:  v,
+				AvgDataPerJobMB: v / 2,
+				AvgIdleFrac:     0.5,
+				Runs:            []core.Results{{Results: metrics.Results{JobsDone: 1}}},
+			}
+			out = append(out, cr)
+			v += 100
+		}
+	}
+	return out
+}
+
+func TestGrid(t *testing.T) {
+	var sb strings.Builder
+	Grid(&sb, fakeResults(), ResponseTime, core.PaperExternalNames(), core.PaperDatasetNames(), 10)
+	got := sb.String()
+	for _, name := range core.PaperExternalNames() {
+		if !strings.Contains(got, name) {
+			t.Fatalf("missing row %s in:\n%s", name, got)
+		}
+	}
+	for _, name := range core.PaperDatasetNames() {
+		if !strings.Contains(got, name) {
+			t.Fatalf("missing column %s", name)
+		}
+	}
+	if !strings.Contains(got, "100.0") || !strings.Contains(got, "1200.0") {
+		t.Fatalf("missing values:\n%s", got)
+	}
+}
+
+func TestGridMissingCell(t *testing.T) {
+	var sb strings.Builder
+	Grid(&sb, nil, ResponseTime, []string{"JobLocal"}, []string{"DataRandom"}, 10)
+	if !strings.Contains(sb.String(), "-") {
+		t.Fatalf("missing cells should render '-': %q", sb.String())
+	}
+}
+
+func TestMetricsSelection(t *testing.T) {
+	rs := fakeResults()
+	var a, b, c strings.Builder
+	Grid(&a, rs, ResponseTime, []string{"JobRandom"}, []string{"DataDoNothing"}, 10)
+	Grid(&b, rs, DataTransferred, []string{"JobRandom"}, []string{"DataDoNothing"}, 10)
+	Grid(&c, rs, IdleTime, []string{"JobRandom"}, []string{"DataDoNothing"}, 10)
+	if !strings.Contains(a.String(), "100.0") {
+		t.Fatalf("response: %q", a.String())
+	}
+	if !strings.Contains(b.String(), "50.0") {
+		t.Fatalf("data: %q", b.String())
+	}
+	if !strings.Contains(c.String(), "50.0") {
+		t.Fatalf("idle pct: %q", c.String())
+	}
+}
+
+func TestBandwidths(t *testing.T) {
+	rs := fakeResults()
+	// Add a 100 MB/s cell.
+	rs = append(rs, experiments.CellResult{
+		Cell:           experiments.Cell{ES: "JobLocal", DS: "DataDoNothing", BandwidthMBps: 100},
+		AvgResponseSec: 42,
+		Runs:           []core.Results{{}},
+	})
+	var sb strings.Builder
+	Bandwidths(&sb, rs, []string{"JobLocal"}, "DataDoNothing", []float64{10, 100})
+	got := sb.String()
+	if !strings.Contains(got, "42.0") {
+		t.Fatalf("missing 100MB/s value:\n%s", got)
+	}
+}
+
+func TestMarkdownGrid(t *testing.T) {
+	var sb strings.Builder
+	MarkdownGrid(&sb, fakeResults(), ResponseTime, core.PaperExternalNames(), core.PaperDatasetNames(), 10)
+	got := sb.String()
+	lines := strings.Split(strings.TrimSpace(got), "\n")
+	if len(lines) != 6 { // header + separator + 4 ES rows
+		t.Fatalf("lines = %d:\n%s", len(lines), got)
+	}
+	if !strings.HasPrefix(lines[1], "|---|") {
+		t.Fatalf("separator = %q", lines[1])
+	}
+	if !strings.Contains(lines[2], "| JobRandom | 100.0 |") {
+		t.Fatalf("row = %q", lines[2])
+	}
+	// Missing cells render an en dash.
+	sb.Reset()
+	MarkdownGrid(&sb, nil, ResponseTime, []string{"JobLocal"}, []string{"DataRandom"}, 10)
+	if !strings.Contains(sb.String(), "–") {
+		t.Fatalf("missing cell marker absent: %q", sb.String())
+	}
+}
+
+func TestCSV(t *testing.T) {
+	var sb strings.Builder
+	CSV(&sb, fakeResults())
+	lines := strings.Split(strings.TrimSpace(sb.String()), "\n")
+	if len(lines) != 13 { // header + 12 cells
+		t.Fatalf("CSV lines = %d", len(lines))
+	}
+	if !strings.HasPrefix(lines[0], "es,ds,bandwidth_mbps") {
+		t.Fatalf("header = %q", lines[0])
+	}
+	if !strings.Contains(lines[1], "JobRandom,DataDoNothing,10,1,100.00") {
+		t.Fatalf("row = %q", lines[1])
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	var sb strings.Builder
+	Histogram(&sb, []int{100, 50, 25, 0}, 4, 20)
+	got := sb.String()
+	lines := strings.Split(strings.TrimSpace(got), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("lines = %d", len(lines))
+	}
+	if !strings.Contains(lines[0], strings.Repeat("#", 20)) {
+		t.Fatalf("peak bar wrong: %q", lines[0])
+	}
+	if strings.Contains(lines[3], "#") {
+		t.Fatalf("zero row has bars: %q", lines[3])
+	}
+}
+
+func TestHistogramEmpty(t *testing.T) {
+	var sb strings.Builder
+	Histogram(&sb, []int{0, 0}, 5, 10)
+	if !strings.Contains(sb.String(), "no requests") {
+		t.Fatalf("empty histogram output: %q", sb.String())
+	}
+}
+
+func TestCSVErrorRow(t *testing.T) {
+	rs := []experiments.CellResult{{
+		Cell: experiments.Cell{ES: "JobBogus", DS: "DataRandom", BandwidthMBps: 10},
+		Err:  errFake{},
+	}}
+	var sb strings.Builder
+	CSV(&sb, rs)
+	if !strings.Contains(sb.String(), "error") {
+		t.Fatalf("error row missing: %q", sb.String())
+	}
+}
+
+type errFake struct{}
+
+func (errFake) Error() string { return "boom" }
+
+func TestGridSkipsErrorCells(t *testing.T) {
+	rs := []experiments.CellResult{{
+		Cell: experiments.Cell{ES: "JobRandom", DS: "DataRandom", BandwidthMBps: 10},
+		Err:  errFake{},
+	}}
+	var sb strings.Builder
+	Grid(&sb, rs, ResponseTime, []string{"JobRandom"}, []string{"DataRandom"}, 10)
+	if !strings.Contains(sb.String(), "-") {
+		t.Fatalf("error cell should render '-': %q", sb.String())
+	}
+}
+
+func TestHeatmapAndTimeline(t *testing.T) {
+	samples := []core.Sample{
+		{T: 60, SiteBusy: []float64{0, 1}, QueuedJobs: 3, ActiveFlows: 2},
+		{T: 120, SiteBusy: []float64{0.5, 1}, QueuedJobs: 7, ActiveFlows: 1},
+	}
+	var sb strings.Builder
+	Heatmap(&sb, samples, 80)
+	got := sb.String()
+	if !strings.Contains(got, "s0") || !strings.Contains(got, "s1") {
+		t.Fatalf("missing site rows:\n%s", got)
+	}
+	if !strings.Contains(got, "@@") {
+		t.Fatalf("fully busy site not rendered dark:\n%s", got)
+	}
+	sb.Reset()
+	Timeline(&sb, samples, 80)
+	if !strings.Contains(sb.String(), "peak queued jobs: 7") ||
+		!strings.Contains(sb.String(), "peak concurrent transfers: 2") {
+		t.Fatalf("timeline peaks wrong:\n%s", sb.String())
+	}
+}
+
+func TestHeatmapDownsamples(t *testing.T) {
+	var samples []core.Sample
+	for i := 0; i < 500; i++ {
+		samples = append(samples, core.Sample{T: float64(i), SiteBusy: []float64{0.5}})
+	}
+	var sb strings.Builder
+	Heatmap(&sb, samples, 50)
+	lines := strings.Split(strings.TrimSpace(sb.String()), "\n")
+	row := lines[1]
+	if len(row) > 60 {
+		t.Fatalf("row not downsampled: %d chars", len(row))
+	}
+}
+
+func TestHeatmapEmpty(t *testing.T) {
+	var sb strings.Builder
+	Heatmap(&sb, nil, 80)
+	Timeline(&sb, nil, 80)
+	if !strings.Contains(sb.String(), "no samples") {
+		t.Fatalf("empty-sample hint missing: %q", sb.String())
+	}
+}
+
+func TestSignificance(t *testing.T) {
+	mk := func(cell experiments.Cell, vals ...float64) experiments.CellResult {
+		cr := experiments.CellResult{Cell: cell}
+		for i, v := range vals {
+			cr.Runs = append(cr.Runs, core.Results{
+				Results: metrics.Results{AvgResponseSec: v},
+				Seed:    uint64(i + 1),
+			})
+		}
+		return cr
+	}
+	a := experiments.Cell{ES: "JobDataPresent", DS: "DataRandom", BandwidthMBps: 10}
+	b := experiments.Cell{ES: "JobDataPresent", DS: "DataLeastLoaded", BandwidthMBps: 10}
+	results := []experiments.CellResult{
+		mk(a, 520, 530, 525),
+		mk(b, 515, 528, 522),
+	}
+	var sb strings.Builder
+	Significance(&sb, results, a, b)
+	if !strings.Contains(sb.String(), "NO significant difference") {
+		t.Fatalf("overlapping samples flagged: %s", sb.String())
+	}
+	sb.Reset()
+	results[1] = mk(b, 100, 102, 101)
+	Significance(&sb, results, a, b)
+	if !strings.Contains(sb.String(), "SIGNIFICANT difference") {
+		t.Fatalf("distinct samples not flagged: %s", sb.String())
+	}
+	sb.Reset()
+	Significance(&sb, results, a, experiments.Cell{ES: "Nope"})
+	if !strings.Contains(sb.String(), "not present") {
+		t.Fatalf("missing-cell case: %s", sb.String())
+	}
+}
+
+func TestMetricString(t *testing.T) {
+	if ResponseTime.String() == "" || DataTransferred.String() == "" || IdleTime.String() == "" {
+		t.Fatal("metric strings empty")
+	}
+}

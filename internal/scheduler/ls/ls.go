@@ -1,0 +1,67 @@
+// Package ls implements Local Scheduler policies. The paper uses FIFO
+// ("Management of internal resources is a problem widely researched in the
+// past and we use FIFO as a simplification", §4); SJF and LIFO are
+// extensions used in ablation benchmarks.
+//
+// All policies only consider *ready* jobs — jobs whose input data is
+// resident — because a processor can only be assigned a job whose datasets
+// are available (§5.2: a processor is idle when "the datasets needed for
+// the jobs in the queue are not yet available at that site").
+package ls
+
+import (
+	"chicsim/internal/job"
+)
+
+// FIFO runs the earliest-queued ready job.
+type FIFO struct{}
+
+// Name implements scheduler.Local.
+func (FIFO) Name() string { return "FIFO" }
+
+// Next implements scheduler.Local.
+func (FIFO) Next(queue []*job.Job, ready func(*job.Job) bool) int {
+	for i, j := range queue {
+		if ready(j) {
+			return i
+		}
+	}
+	return -1
+}
+
+// SJF runs the ready job with the shortest compute time (extension).
+type SJF struct{}
+
+// Name implements scheduler.Local.
+func (SJF) Name() string { return "SJF" }
+
+// Next implements scheduler.Local.
+func (SJF) Next(queue []*job.Job, ready func(*job.Job) bool) int {
+	best := -1
+	for i, j := range queue {
+		if !ready(j) {
+			continue
+		}
+		if best < 0 || j.ComputeTime < queue[best].ComputeTime {
+			best = i
+		}
+	}
+	return best
+}
+
+// LIFO runs the most recently queued ready job (extension; a stress case
+// for fairness comparisons).
+type LIFO struct{}
+
+// Name implements scheduler.Local.
+func (LIFO) Name() string { return "LIFO" }
+
+// Next implements scheduler.Local.
+func (LIFO) Next(queue []*job.Job, ready func(*job.Job) bool) int {
+	for i := len(queue) - 1; i >= 0; i-- {
+		if ready(queue[i]) {
+			return i
+		}
+	}
+	return -1
+}

@@ -1,0 +1,114 @@
+package ls
+
+import (
+	"testing"
+	"testing/quick"
+
+	"chicsim/internal/job"
+	"chicsim/internal/rng"
+	"chicsim/internal/storage"
+)
+
+func jobs(computes ...float64) []*job.Job {
+	out := make([]*job.Job, len(computes))
+	for i, c := range computes {
+		out[i] = job.New(job.ID(i), 0, 0, []storage.FileID{storage.FileID(i)}, c)
+	}
+	return out
+}
+
+func all(*job.Job) bool  { return true }
+func none(*job.Job) bool { return false }
+
+func TestFIFOPicksFirstReady(t *testing.T) {
+	q := jobs(100, 200, 300)
+	f := FIFO{}
+	if got := f.Next(q, all); got != 0 {
+		t.Fatalf("Next = %d, want 0", got)
+	}
+	onlySecond := func(j *job.Job) bool { return j.ID == 1 }
+	if got := f.Next(q, onlySecond); got != 1 {
+		t.Fatalf("Next = %d, want 1", got)
+	}
+	if got := f.Next(q, none); got != -1 {
+		t.Fatalf("Next = %d, want -1", got)
+	}
+	if got := f.Next(nil, all); got != -1 {
+		t.Fatalf("Next on empty = %d, want -1", got)
+	}
+}
+
+func TestSJFPicksShortestReady(t *testing.T) {
+	q := jobs(300, 100, 200)
+	s := SJF{}
+	if got := s.Next(q, all); got != 1 {
+		t.Fatalf("Next = %d, want 1 (shortest)", got)
+	}
+	notShortest := func(j *job.Job) bool { return j.ID != 1 }
+	if got := s.Next(q, notShortest); got != 2 {
+		t.Fatalf("Next = %d, want 2", got)
+	}
+	if got := s.Next(q, none); got != -1 {
+		t.Fatalf("Next = %d, want -1", got)
+	}
+}
+
+func TestLIFOPicksLastReady(t *testing.T) {
+	q := jobs(100, 200, 300)
+	l := LIFO{}
+	if got := l.Next(q, all); got != 2 {
+		t.Fatalf("Next = %d, want 2", got)
+	}
+	if got := l.Next(q, func(j *job.Job) bool { return j.ID == 0 }); got != 0 {
+		t.Fatalf("Next = %d, want 0", got)
+	}
+}
+
+func TestNames(t *testing.T) {
+	if (FIFO{}).Name() != "FIFO" || (SJF{}).Name() != "SJF" || (LIFO{}).Name() != "LIFO" {
+		t.Fatal("names wrong")
+	}
+}
+
+// Property: every policy returns either -1 or the index of a ready job.
+func TestQuickAlwaysReturnsReadyIndex(t *testing.T) {
+	f := func(seed uint64, n uint8) bool {
+		src := rng.New(seed)
+		q := make([]*job.Job, int(n)%20)
+		readySet := make(map[job.ID]bool)
+		for i := range q {
+			q[i] = job.New(job.ID(i), 0, 0, nil, src.Range(1, 1000))
+			if src.Intn(2) == 0 {
+				readySet[job.ID(i)] = true
+			}
+		}
+		ready := func(j *job.Job) bool { return readySet[j.ID] }
+		for _, pol := range []interface {
+			Next([]*job.Job, func(*job.Job) bool) int
+		}{FIFO{}, SJF{}, LIFO{}} {
+			idx := pol.Next(q, ready)
+			if idx == -1 {
+				if len(readySet) != 0 && anyReady(q, ready) {
+					return false
+				}
+				continue
+			}
+			if idx < 0 || idx >= len(q) || !ready(q[idx]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func anyReady(q []*job.Job, ready func(*job.Job) bool) bool {
+	for _, j := range q {
+		if ready(j) {
+			return true
+		}
+	}
+	return false
+}

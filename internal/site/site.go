@@ -1,0 +1,382 @@
+// Package site implements the per-site runtime of the Data Grid: the
+// incoming job queue, compute elements, the data-fetch path that overlaps
+// transfers with queueing (the paper's "max(queue time, transfer time) +
+// compute time" model), dataset pinning, and the popularity bookkeeping
+// consumed by the Dataset Scheduler.
+package site
+
+import (
+	"fmt"
+	"sort"
+
+	"chicsim/internal/catalog"
+	"chicsim/internal/desim"
+	"chicsim/internal/job"
+	"chicsim/internal/scheduler"
+	"chicsim/internal/storage"
+	"chicsim/internal/topology"
+)
+
+// DataMover moves a file between sites on behalf of a site runtime. The
+// core simulation implements it over netsim, attributing the traffic to
+// job-driven fetches. done fires when the last byte arrives.
+type DataMover interface {
+	Fetch(f storage.FileID, from, to topology.SiteID, done func())
+}
+
+// Config sizes one site.
+type Config struct {
+	ID       topology.SiteID
+	CEs      int     // compute elements ("processors"), paper: 2–5
+	Capacity float64 // storage bytes; <= 0 means unlimited
+	// OnEvict, when non-nil, observes LRU evictions of cached replicas
+	// (in addition to the automatic catalog deregistration).
+	OnEvict func(storage.FileID)
+	// Speed scales processor performance: a job's wall time is
+	// ComputeTime/Speed. <= 0 means 1.0 (the paper's homogeneous grid).
+	Speed float64
+}
+
+// Site is a single grid site. All methods must be called from simulation
+// events (single-threaded).
+type Site struct {
+	id    topology.SiteID
+	ces   int
+	speed float64
+	eng   *desim.Engine
+	topo  *topology.Topology
+	cat   *catalog.Catalog
+	mover DataMover
+	ls    scheduler.Local
+	store *storage.Store
+
+	queue    []*job.Job
+	busy     int
+	waiting  map[storage.FileID][]*job.Job // queued jobs missing this file
+	fetching map[storage.FileID]bool
+	// transient holds files that arrived for waiting jobs but could not be
+	// cached (capacity exhausted by pinned data). They live in a staging
+	// area, usable by the jobs that needed them, refcounted and discarded
+	// afterwards; they are not registered as grid replicas.
+	transient map[storage.FileID]int
+	pinned    map[job.ID][]pinRef // refs held per job
+
+	popularity map[storage.FileID]int
+	popByReq   map[storage.FileID]map[topology.SiteID]int
+
+	onDone func(*job.Job)
+
+	// Busy-time integral for the idle-time metric.
+	busyInt  float64
+	lastBusy desim.Time
+
+	fetchesStarted int
+}
+
+// New creates a site. onDone fires after each job completes (used by the
+// workload driver to submit the user's next job and by metrics).
+func New(eng *desim.Engine, topo *topology.Topology, cat *catalog.Catalog, mover DataMover, lsched scheduler.Local, cfg Config, onDone func(*job.Job)) (*Site, error) {
+	if cfg.CEs <= 0 {
+		return nil, fmt.Errorf("site %d: CEs = %d, must be > 0", cfg.ID, cfg.CEs)
+	}
+	speed := cfg.Speed
+	if speed <= 0 {
+		speed = 1
+	}
+	s := &Site{
+		id:         cfg.ID,
+		ces:        cfg.CEs,
+		speed:      speed,
+		eng:        eng,
+		topo:       topo,
+		cat:        cat,
+		mover:      mover,
+		ls:         lsched,
+		waiting:    make(map[storage.FileID][]*job.Job),
+		fetching:   make(map[storage.FileID]bool),
+		transient:  make(map[storage.FileID]int),
+		pinned:     make(map[job.ID][]pinRef),
+		popularity: make(map[storage.FileID]int),
+		popByReq:   make(map[storage.FileID]map[topology.SiteID]int),
+		onDone:     onDone,
+	}
+	s.store = storage.New(cfg.Capacity, func(f storage.FileID) {
+		cat.Deregister(f, s.id)
+		if cfg.OnEvict != nil {
+			cfg.OnEvict(f)
+		}
+	})
+	return s, nil
+}
+
+// ID returns the site id.
+func (s *Site) ID() topology.SiteID { return s.id }
+
+// CEs returns the number of compute elements.
+func (s *Site) CEs() int { return s.ces }
+
+// Speed returns the processor speed factor (1 = the paper's baseline).
+func (s *Site) Speed() float64 { return s.speed }
+
+// QueueLen returns the number of jobs waiting to run — the paper's load
+// metric for JobLeastLoaded and DataLeastLoaded.
+func (s *Site) QueueLen() int { return len(s.queue) }
+
+// Busy returns the number of occupied compute elements.
+func (s *Site) Busy() int { return s.busy }
+
+// Store exposes the site's storage (read-mostly; used by setup and tests).
+func (s *Site) Store() *storage.Store { return s.store }
+
+// FetchesStarted returns how many job-driven fetches this site initiated.
+func (s *Site) FetchesStarted() int { return s.fetchesStarted }
+
+// InstallMaster places a permanent master copy and registers it.
+func (s *Site) InstallMaster(f storage.FileID, size float64) error {
+	if err := s.store.AddMaster(f, size); err != nil {
+		return err
+	}
+	s.cat.Register(f, s.id)
+	return nil
+}
+
+// BusyIntegral returns ∫ busy(t) dt over [0, at]. Call from an event at
+// time `at` (it settles the integral to the engine's current time).
+func (s *Site) BusyIntegral(at desim.Time) float64 {
+	s.settleBusy()
+	if at != s.lastBusy {
+		// Extrapolate a settled integral to `at` with the current busy
+		// level (valid only when at == now; guard against misuse).
+		panic("site: BusyIntegral must be called at the current virtual time")
+	}
+	return s.busyInt
+}
+
+func (s *Site) settleBusy() {
+	now := s.eng.Now()
+	s.busyInt += float64(s.busy) * (now - s.lastBusy)
+	s.lastBusy = now
+}
+
+func (s *Site) setBusy(b int) {
+	s.settleBusy()
+	s.busy = b
+}
+
+// present reports whether f is usable at this site right now.
+func (s *Site) present(f storage.FileID) bool {
+	return s.store.Peek(f) || s.transient[f] > 0
+}
+
+// Enqueue places a dispatched job in the incoming queue, starts fetches for
+// missing inputs, and records dataset popularity. Matching the paper, the
+// data transfer overlaps with the queue wait.
+func (s *Site) Enqueue(j *job.Job) {
+	j.Site = s.id
+	j.Advance(job.Queued, s.eng.Now())
+	s.queue = append(s.queue, j)
+	for _, f := range j.Inputs {
+		s.recordAccess(f, j.Origin)
+		if s.store.Contains(f) || s.transient[f] > 0 { // Contains also books the hit/miss
+			s.acquire(j, f)
+			continue
+		}
+		s.waiting[f] = append(s.waiting[f], j)
+		if !s.fetching[f] {
+			s.startFetch(f)
+		}
+	}
+	if s.jobReady(j) {
+		j.DataReady = s.eng.Now()
+	}
+	s.trySchedule()
+}
+
+// pinRef records which kind of hold a job took on an input: a storage pin
+// or a transient-staging refcount. The kind is fixed at acquire time so a
+// later state change (e.g. the file getting cached after being staged)
+// cannot unbalance the accounting.
+type pinRef struct {
+	file      storage.FileID
+	transient bool
+}
+
+// acquire pins (or transient-refs) a present input for a job.
+func (s *Site) acquire(j *job.Job, f storage.FileID) {
+	ref := pinRef{file: f}
+	if s.store.Peek(f) {
+		if err := s.store.Pin(f); err != nil {
+			panic(err)
+		}
+	} else {
+		s.transient[f]++
+		ref.transient = true
+	}
+	s.pinned[j.ID] = append(s.pinned[j.ID], ref)
+}
+
+func (s *Site) release(j *job.Job) {
+	for _, ref := range s.pinned[j.ID] {
+		if ref.transient {
+			s.transient[ref.file]--
+			if s.transient[ref.file] <= 0 {
+				delete(s.transient, ref.file)
+			}
+			continue
+		}
+		if err := s.store.Unpin(ref.file); err != nil {
+			panic(err)
+		}
+		s.store.Touch(ref.file) // refresh recency on use
+	}
+	delete(s.pinned, j.ID)
+}
+
+// jobReady reports whether all of j's inputs are locally usable.
+func (s *Site) jobReady(j *job.Job) bool {
+	return len(s.pinned[j.ID]) == len(j.Inputs)
+}
+
+// startFetch picks the closest replica source and asks the data mover to
+// bring the file here.
+func (s *Site) startFetch(f storage.FileID) {
+	src, ok := s.cat.Closest(f, s.id, s.topo)
+	if !ok {
+		panic(fmt.Sprintf("site %d: no replica of file %d anywhere", s.id, f))
+	}
+	s.fetching[f] = true
+	s.fetchesStarted++
+	size, _ := s.cat.Size(f)
+	s.mover.Fetch(f, src, s.id, func() { s.fileArrived(f, size) })
+}
+
+// fileArrived lands a file (from a fetch or a DS push). It caches the file
+// if capacity allows, satisfies waiting jobs, and re-runs the local
+// scheduler.
+func (s *Site) fileArrived(f storage.FileID, size float64) {
+	delete(s.fetching, f)
+	waiters := s.waiting[f]
+	delete(s.waiting, f)
+	if s.store.AddReplica(f, size) {
+		s.cat.Register(f, s.id)
+	} else {
+		if len(waiters) == 0 {
+			return // nowhere to cache it and nobody needs it
+		}
+		// Stage transiently for the jobs that are waiting.
+	}
+	now := s.eng.Now()
+	for _, j := range waiters {
+		if j.State == job.Done {
+			continue
+		}
+		s.acquire(j, f)
+		if s.jobReady(j) && j.DataReady < 0 {
+			j.DataReady = now
+		}
+	}
+	s.trySchedule()
+}
+
+// ReceiveReplica lands a pushed replica from a remote Dataset Scheduler.
+func (s *Site) ReceiveReplica(f storage.FileID, size float64) {
+	s.fileArrived(f, size)
+}
+
+// trySchedule assigns free compute elements to ready queued jobs according
+// to the local scheduling policy.
+func (s *Site) trySchedule() {
+	for s.busy < s.ces {
+		idx := s.ls.Next(s.queue, s.jobReady)
+		if idx < 0 {
+			return
+		}
+		j := s.queue[idx]
+		s.queue = append(s.queue[:idx], s.queue[idx+1:]...)
+		s.run(j)
+	}
+}
+
+func (s *Site) run(j *job.Job) {
+	if !s.jobReady(j) {
+		panic(fmt.Sprintf("site %d: scheduling job %d without its data", s.id, j.ID))
+	}
+	j.Advance(job.Running, s.eng.Now())
+	s.setBusy(s.busy + 1)
+	s.eng.Schedule(j.ComputeTime/s.speed, func() { s.complete(j) })
+}
+
+func (s *Site) complete(j *job.Job) {
+	j.Advance(job.Done, s.eng.Now())
+	s.setBusy(s.busy - 1)
+	s.release(j)
+	if s.onDone != nil {
+		s.onDone(j)
+	}
+	s.trySchedule()
+}
+
+// recordAccess counts one request for f at this site on behalf of
+// requester (a job's origin site or a remote fetching site).
+func (s *Site) recordAccess(f storage.FileID, requester topology.SiteID) {
+	s.popularity[f]++
+	m := s.popByReq[f]
+	if m == nil {
+		m = make(map[topology.SiteID]int)
+		s.popByReq[f] = m
+	}
+	m[requester]++
+}
+
+// RecordRemoteRequest counts a remote site fetching f from here — a use of
+// this site's locally available copy.
+func (s *Site) RecordRemoteRequest(f storage.FileID, requester topology.SiteID) {
+	s.recordAccess(f, requester)
+}
+
+// DeleteReplica removes a cached replica on behalf of the Dataset
+// Scheduler ("determines if and when to replicate data and/or delete
+// local files", §3). Masters, pinned files, and files a fetch is still
+// racing toward are left alone. Reports whether a copy was deleted.
+func (s *Site) DeleteReplica(f storage.FileID) bool {
+	if s.fetching[f] || len(s.waiting[f]) > 0 {
+		return false
+	}
+	return s.store.RemoveReplica(f)
+}
+
+// CachedIdleFiles returns the resident non-master files that are neither
+// pinned nor being fetched — the candidates for DS-driven deletion.
+func (s *Site) CachedIdleFiles() []storage.FileID {
+	var out []storage.FileID
+	for _, f := range s.store.Resident() {
+		if !s.store.IsMaster(f) && s.store.Pins(f) == 0 && !s.fetching[f] {
+			out = append(out, f)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// DrainPopularity returns and clears the per-file access counts recorded
+// since the previous drain, restricted to files locally resident (the DS
+// "keeps track of the popularity of each dataset locally available"),
+// ordered most-popular first (ties by file id for determinism).
+func (s *Site) DrainPopularity() []scheduler.PopularFile {
+	out := make([]scheduler.PopularFile, 0, len(s.popularity))
+	for f, n := range s.popularity {
+		if !s.store.Peek(f) {
+			continue
+		}
+		out = append(out, scheduler.PopularFile{File: f, Count: n, ByRequester: s.popByReq[f]})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Count != out[j].Count {
+			return out[i].Count > out[j].Count
+		}
+		return out[i].File < out[j].File
+	})
+	s.popularity = make(map[storage.FileID]int)
+	s.popByReq = make(map[storage.FileID]map[topology.SiteID]int)
+	return out
+}

@@ -1,0 +1,44 @@
+package stats_test
+
+import (
+	"fmt"
+
+	"chicsim/internal/stats"
+)
+
+// Summaries carry 95% confidence intervals for seed-replicated metrics.
+func ExampleSummarize() {
+	responses := []float64{514, 520, 509} // e.g. three seeds of one cell
+	s := stats.Summarize(responses)
+	fmt.Printf("n=%d mean=%.1f sd=%.1f\n", s.N, s.Mean, s.StdDev)
+	// Output:
+	// n=3 mean=514.3 sd=5.5
+}
+
+// Welch's t-test answers "is this difference real?" across seeds — the
+// paper's DataRandom ≈ DataLeastLoaded claim in statistical form.
+func ExampleWelchTTest() {
+	dataRandom := []float64{527, 531, 525}
+	dataLeastLoaded := []float64{514, 520, 509}
+	r, err := stats.WelchTTest(dataRandom, dataLeastLoaded)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("significant at 5%:", r.SignificantAt05)
+
+	coupled := []float64{2373, 2391, 2350}
+	r, _ = stats.WelchTTest(coupled, dataLeastLoaded)
+	fmt.Println("coupled vs decoupled significant:", r.SignificantAt05)
+	// Output:
+	// significant at 5%: true
+	// coupled vs decoupled significant: true
+}
+
+// Gini quantifies hotspot concentration: 0 is a perfectly balanced grid.
+func ExampleGini() {
+	balanced, _ := stats.Gini([]float64{10, 10, 10, 10})
+	hotspot, _ := stats.Gini([]float64{37, 1, 1, 1})
+	fmt.Printf("balanced=%.2f hotspot=%.2f\n", balanced, hotspot)
+	// Output:
+	// balanced=0.00 hotspot=0.68
+}

@@ -1,0 +1,219 @@
+// Package stats provides the statistical machinery behind the paper's
+// evaluation claims: seed-replication summaries with confidence intervals,
+// Welch's t-test for "no significant performance difference" statements
+// (§5.2: DataRandom vs DataLeastLoaded), and concentration measures (Gini)
+// for quantifying the hotspots that motivate dynamic replication.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Mean returns the arithmetic mean (0 for empty input).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// Variance returns the unbiased sample variance (0 for n < 2).
+func Variance(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	s := 0.0
+	for _, x := range xs {
+		d := x - m
+		s += d * d
+	}
+	return s / float64(len(xs)-1)
+}
+
+// StdDev returns the sample standard deviation.
+func StdDev(xs []float64) float64 { return math.Sqrt(Variance(xs)) }
+
+// Median returns the middle value (mean of the two central values for even
+// n; 0 for empty input).
+func Median(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	n := len(s)
+	if n%2 == 1 {
+		return s[n/2]
+	}
+	return (s[n/2-1] + s[n/2]) / 2
+}
+
+// Summary condenses a sample of replicated measurements.
+type Summary struct {
+	N      int
+	Mean   float64
+	StdDev float64
+	Min    float64
+	Max    float64
+	// CI95 is the half-width of the 95% confidence interval for the mean
+	// (Student-t with N−1 degrees of freedom); 0 for N < 2.
+	CI95 float64
+}
+
+// Summarize computes a Summary of xs.
+func Summarize(xs []float64) Summary {
+	s := Summary{N: len(xs)}
+	if len(xs) == 0 {
+		return s
+	}
+	s.Mean = Mean(xs)
+	s.StdDev = StdDev(xs)
+	s.Min, s.Max = xs[0], xs[0]
+	for _, x := range xs[1:] {
+		s.Min = math.Min(s.Min, x)
+		s.Max = math.Max(s.Max, x)
+	}
+	if s.N >= 2 {
+		s.CI95 = tCritical95(s.N-1) * s.StdDev / math.Sqrt(float64(s.N))
+	}
+	return s
+}
+
+func (s Summary) String() string {
+	return fmt.Sprintf("n=%d mean=%.2f ±%.2f (95%% CI), sd=%.2f, range [%.2f, %.2f]",
+		s.N, s.Mean, s.CI95, s.StdDev, s.Min, s.Max)
+}
+
+// tCritical95 returns the two-sided 95% Student-t critical value for df
+// degrees of freedom (exact table for small df, asymptote beyond).
+func tCritical95(df int) float64 {
+	table := []float64{
+		0,                                                             // df 0 (unused)
+		12.706,                                                        // 1
+		4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228, // 2..10
+		2.201, 2.179, 2.160, 2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086, // 11..20
+		2.080, 2.074, 2.069, 2.064, 2.060, 2.056, 2.052, 2.048, 2.045, 2.042, // 21..30
+	}
+	if df <= 0 {
+		return 0
+	}
+	if df < len(table) {
+		return table[df]
+	}
+	if df < 60 {
+		return 2.02
+	}
+	if df < 120 {
+		return 2.0
+	}
+	return 1.96
+}
+
+// TTestResult is the outcome of a two-sample Welch t-test.
+type TTestResult struct {
+	T  float64 // t statistic
+	DF float64 // Welch–Satterthwaite degrees of freedom
+	// SignificantAt05 is true when |T| exceeds the two-sided 5% critical
+	// value for DF — i.e. the means differ significantly.
+	SignificantAt05 bool
+}
+
+// WelchTTest compares the means of two independent samples without
+// assuming equal variances. Returns an error when either sample has fewer
+// than two observations or both variances are zero.
+func WelchTTest(a, b []float64) (TTestResult, error) {
+	if len(a) < 2 || len(b) < 2 {
+		return TTestResult{}, fmt.Errorf("stats: WelchTTest needs ≥ 2 observations per sample (have %d, %d)", len(a), len(b))
+	}
+	va, vb := Variance(a), Variance(b)
+	na, nb := float64(len(a)), float64(len(b))
+	sa, sb := va/na, vb/nb
+	se := sa + sb
+	if se == 0 {
+		if Mean(a) == Mean(b) {
+			return TTestResult{T: 0, DF: na + nb - 2}, nil
+		}
+		return TTestResult{}, fmt.Errorf("stats: WelchTTest with zero variance and unequal means")
+	}
+	t := (Mean(a) - Mean(b)) / math.Sqrt(se)
+	df := se * se / (sa*sa/(na-1) + sb*sb/(nb-1))
+	crit := tCritical95(int(math.Floor(df)))
+	return TTestResult{T: t, DF: df, SignificantAt05: math.Abs(t) > crit}, nil
+}
+
+// Gini returns the Gini coefficient of xs (0 = perfectly even, →1 =
+// concentrated in one element). Negative values are invalid input.
+// Used to quantify load and popularity concentration: the hotspot effect
+// that makes JobDataPresent collapse without replication.
+func Gini(xs []float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, fmt.Errorf("stats: Gini of empty sample")
+	}
+	total := 0.0
+	for _, x := range xs {
+		if x < 0 {
+			return 0, fmt.Errorf("stats: Gini with negative value %v", x)
+		}
+		total += x
+	}
+	if total == 0 {
+		return 0, nil
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	n := float64(len(s))
+	cum := 0.0
+	for i, x := range s {
+		cum += (2*float64(i+1) - n - 1) * x
+	}
+	return cum / (n * total), nil
+}
+
+// CoefficientOfVariation returns StdDev/Mean (0 when the mean is 0).
+func CoefficientOfVariation(xs []float64) float64 {
+	m := Mean(xs)
+	if m == 0 {
+		return 0
+	}
+	return StdDev(xs) / m
+}
+
+// Histogram buckets xs into n equal-width bins over [min, max], returning
+// bin counts and edges (n+1 values). It panics when n <= 0.
+func Histogram(xs []float64, n int) (counts []int, edges []float64) {
+	if n <= 0 {
+		panic("stats: Histogram with non-positive bin count")
+	}
+	counts = make([]int, n)
+	edges = make([]float64, n+1)
+	if len(xs) == 0 {
+		return counts, edges
+	}
+	lo, hi := xs[0], xs[0]
+	for _, x := range xs[1:] {
+		lo = math.Min(lo, x)
+		hi = math.Max(hi, x)
+	}
+	if hi == lo {
+		hi = lo + 1
+	}
+	w := (hi - lo) / float64(n)
+	for i := range edges {
+		edges[i] = lo + w*float64(i)
+	}
+	for _, x := range xs {
+		b := int((x - lo) / w)
+		if b >= n {
+			b = n - 1
+		}
+		counts[b]++
+	}
+	return counts, edges
+}

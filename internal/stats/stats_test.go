@@ -1,0 +1,238 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"chicsim/internal/rng"
+)
+
+func almost(a, b, eps float64) bool { return math.Abs(a-b) <= eps }
+
+func TestMeanVarianceStdDev(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if Mean(xs) != 5 {
+		t.Fatalf("Mean = %v", Mean(xs))
+	}
+	if !almost(Variance(xs), 4.571428571, 1e-6) {
+		t.Fatalf("Variance = %v", Variance(xs))
+	}
+	if !almost(StdDev(xs), 2.138089935, 1e-6) {
+		t.Fatalf("StdDev = %v", StdDev(xs))
+	}
+	if Mean(nil) != 0 || Variance(nil) != 0 || Variance([]float64{1}) != 0 {
+		t.Fatal("degenerate cases")
+	}
+}
+
+func TestMedian(t *testing.T) {
+	if Median([]float64{3, 1, 2}) != 2 {
+		t.Fatal("odd median")
+	}
+	if Median([]float64{4, 1, 3, 2}) != 2.5 {
+		t.Fatal("even median")
+	}
+	if Median(nil) != 0 {
+		t.Fatal("empty median")
+	}
+	// Input must not be mutated.
+	xs := []float64{3, 1, 2}
+	Median(xs)
+	if xs[0] != 3 {
+		t.Fatal("Median mutated input")
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{10, 12, 14})
+	if s.N != 3 || s.Mean != 12 || s.Min != 10 || s.Max != 14 {
+		t.Fatalf("Summary = %+v", s)
+	}
+	// sd = 2, t(2 df) = 4.303 → CI = 4.303*2/sqrt(3).
+	want := 4.303 * 2 / math.Sqrt(3)
+	if !almost(s.CI95, want, 1e-9) {
+		t.Fatalf("CI95 = %v, want %v", s.CI95, want)
+	}
+	if Summarize(nil).N != 0 {
+		t.Fatal("empty summary")
+	}
+	if Summarize([]float64{5}).CI95 != 0 {
+		t.Fatal("single-point CI must be 0")
+	}
+	if s.String() == "" {
+		t.Fatal("String empty")
+	}
+}
+
+func TestTCritical(t *testing.T) {
+	if tCritical95(1) != 12.706 || tCritical95(10) != 2.228 || tCritical95(30) != 2.042 {
+		t.Fatal("table values wrong")
+	}
+	if tCritical95(45) != 2.02 || tCritical95(100) != 2.0 || tCritical95(1000) != 1.96 {
+		t.Fatal("asymptotic values wrong")
+	}
+	if tCritical95(0) != 0 {
+		t.Fatal("df=0")
+	}
+}
+
+func TestWelchTTestDistinguishes(t *testing.T) {
+	// Clearly different means, small variance: significant.
+	a := []float64{100, 101, 99, 100, 100}
+	b := []float64{200, 199, 201, 200, 200}
+	r, err := WelchTTest(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.SignificantAt05 {
+		t.Fatalf("obvious difference not significant: %+v", r)
+	}
+	if r.T >= 0 {
+		t.Fatalf("T sign: %v (a < b should give negative t)", r.T)
+	}
+}
+
+func TestWelchTTestNoDifference(t *testing.T) {
+	// Same distribution: not significant (matches the paper's
+	// DataRandom ≈ DataLeastLoaded claim pattern).
+	src := rng.New(5)
+	var a, b []float64
+	for i := 0; i < 10; i++ {
+		a = append(a, 500+src.Range(-50, 50))
+		b = append(b, 500+src.Range(-50, 50))
+	}
+	r, err := WelchTTest(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.SignificantAt05 {
+		t.Fatalf("same-distribution samples flagged significant: %+v", r)
+	}
+}
+
+func TestWelchTTestErrors(t *testing.T) {
+	if _, err := WelchTTest([]float64{1}, []float64{1, 2}); err == nil {
+		t.Fatal("expected size error")
+	}
+	if _, err := WelchTTest([]float64{5, 5}, []float64{7, 7}); err == nil {
+		t.Fatal("expected zero-variance error")
+	}
+	if r, err := WelchTTest([]float64{5, 5}, []float64{5, 5}); err != nil || r.T != 0 {
+		t.Fatal("identical zero-variance samples should give t=0")
+	}
+}
+
+func TestGini(t *testing.T) {
+	if g, _ := Gini([]float64{1, 1, 1, 1}); !almost(g, 0, 1e-12) {
+		t.Fatalf("even Gini = %v", g)
+	}
+	// All mass in one element of n: G = (n-1)/n.
+	if g, _ := Gini([]float64{0, 0, 0, 10}); !almost(g, 0.75, 1e-12) {
+		t.Fatalf("concentrated Gini = %v", g)
+	}
+	if g, _ := Gini([]float64{0, 0}); g != 0 {
+		t.Fatalf("zero-total Gini = %v", g)
+	}
+	if _, err := Gini(nil); err == nil {
+		t.Fatal("empty Gini must error")
+	}
+	if _, err := Gini([]float64{1, -1}); err == nil {
+		t.Fatal("negative Gini must error")
+	}
+}
+
+func TestGiniOrderInvariant(t *testing.T) {
+	f := func(seed uint64) bool {
+		src := rng.New(seed)
+		xs := make([]float64, 20)
+		for i := range xs {
+			xs[i] = src.Range(0, 100)
+		}
+		g1, err1 := Gini(xs)
+		rng.Shuffle(src, xs)
+		g2, err2 := Gini(xs)
+		return err1 == nil && err2 == nil && almost(g1, g2, 1e-9) && g1 >= 0 && g1 < 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCoefficientOfVariation(t *testing.T) {
+	if CoefficientOfVariation([]float64{5, 5, 5}) != 0 {
+		t.Fatal("constant CV")
+	}
+	if CoefficientOfVariation(nil) != 0 {
+		t.Fatal("empty CV")
+	}
+	cv := CoefficientOfVariation([]float64{90, 100, 110})
+	if !almost(cv, 10/100.0, 1e-9) {
+		t.Fatalf("CV = %v", cv)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	counts, edges := Histogram([]float64{0, 1, 2, 3, 4, 5, 6, 7, 8, 9}, 5)
+	if len(counts) != 5 || len(edges) != 6 {
+		t.Fatal("shape wrong")
+	}
+	for _, c := range counts {
+		if c != 2 {
+			t.Fatalf("counts = %v", counts)
+		}
+	}
+	if edges[0] != 0 || !almost(edges[5], 9, 1e-12) {
+		t.Fatalf("edges = %v", edges)
+	}
+	// Max value lands in last bin.
+	counts, _ = Histogram([]float64{1, 10}, 3)
+	if counts[2] != 1 || counts[0] != 1 {
+		t.Fatalf("extremes: %v", counts)
+	}
+	// Degenerate: all equal.
+	counts, _ = Histogram([]float64{5, 5, 5}, 4)
+	total := 0
+	for _, c := range counts {
+		total += c
+	}
+	if total != 3 {
+		t.Fatalf("degenerate histogram lost samples: %v", counts)
+	}
+	if c, e := Histogram(nil, 2); len(c) != 2 || len(e) != 3 {
+		t.Fatal("empty histogram shape")
+	}
+}
+
+func TestHistogramPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Histogram([]float64{1}, 0)
+}
+
+// Property: Welch t-test is antisymmetric in its arguments.
+func TestQuickTTestAntisymmetric(t *testing.T) {
+	f := func(seed uint64) bool {
+		src := rng.New(seed)
+		a := make([]float64, 5)
+		b := make([]float64, 7)
+		for i := range a {
+			a[i] = src.Range(0, 100)
+		}
+		for i := range b {
+			b[i] = src.Range(50, 150)
+		}
+		r1, err1 := WelchTTest(a, b)
+		r2, err2 := WelchTTest(b, a)
+		if err1 != nil || err2 != nil {
+			return true // zero-variance draws: skip
+		}
+		return almost(r1.T, -r2.T, 1e-9) && r1.SignificantAt05 == r2.SignificantAt05
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,239 @@
+// Package storage implements a site's capacity-limited dataset store.
+//
+// Each site holds "master" copies (the initial mapping of datasets to
+// sites, never evicted) plus cached replicas fetched for jobs or pushed by
+// the dataset scheduler. Caches are "managed using LRU" (paper §4,
+// DataDoNothing description); files in use by queued or running jobs are
+// pinned and cannot be evicted.
+package storage
+
+import (
+	"container/list"
+	"fmt"
+)
+
+// FileID identifies a dataset grid-wide.
+type FileID int
+
+// entry is a resident file.
+type entry struct {
+	id     FileID
+	size   float64
+	master bool
+	pins   int
+	lru    *list.Element // nil for masters (never in the LRU list)
+}
+
+// EvictFunc is notified when a cached replica is evicted.
+type EvictFunc func(FileID)
+
+// Store is one site's storage. Not safe for concurrent use (the simulation
+// is single-threaded).
+type Store struct {
+	capacity float64
+	used     float64
+	files    map[FileID]*entry
+	lru      *list.List // front = most recently used; values are *entry
+	onEvict  EvictFunc
+
+	evictions int
+	hits      int
+	misses    int
+}
+
+// New creates a store with the given capacity in bytes. A non-positive
+// capacity means "unlimited" (the paper's Table 1 does not bound storage;
+// bounded storage is the documented default in DESIGN.md).
+func New(capacity float64, onEvict EvictFunc) *Store {
+	return &Store{
+		capacity: capacity,
+		files:    make(map[FileID]*entry),
+		lru:      list.New(),
+		onEvict:  onEvict,
+	}
+}
+
+// Capacity returns the configured capacity (<= 0 means unlimited).
+func (s *Store) Capacity() float64 { return s.capacity }
+
+// Used returns the bytes currently resident.
+func (s *Store) Used() float64 { return s.used }
+
+// Len returns the number of resident files.
+func (s *Store) Len() int { return len(s.files) }
+
+// Evictions returns how many replicas have been evicted.
+func (s *Store) Evictions() int { return s.evictions }
+
+// HitRate returns cache hits/(hits+misses) as observed via Contains.
+func (s *Store) HitRate() (hits, misses int) { return s.hits, s.misses }
+
+// Contains reports whether the file is resident, updating recency and
+// hit/miss accounting.
+func (s *Store) Contains(id FileID) bool {
+	e, ok := s.files[id]
+	if ok {
+		s.touch(e)
+		s.hits++
+	} else {
+		s.misses++
+	}
+	return ok
+}
+
+// Touch refreshes a file's recency without hit/miss accounting. No-op for
+// absent files and masters.
+func (s *Store) Touch(id FileID) {
+	if e, ok := s.files[id]; ok {
+		s.touch(e)
+	}
+}
+
+// Peek reports residency without touching recency or accounting.
+func (s *Store) Peek(id FileID) bool {
+	_, ok := s.files[id]
+	return ok
+}
+
+// AddMaster installs a permanent master copy. Masters bypass the LRU and
+// count against capacity; installing masters larger than capacity is the
+// configuration's problem and is allowed (a site must hold its masters).
+func (s *Store) AddMaster(id FileID, size float64) error {
+	if _, ok := s.files[id]; ok {
+		return fmt.Errorf("storage: file %d already resident", id)
+	}
+	if size < 0 {
+		return fmt.Errorf("storage: negative size %v", size)
+	}
+	s.files[id] = &entry{id: id, size: size, master: true}
+	s.used += size
+	return nil
+}
+
+// AddReplica caches a replica, evicting least-recently-used unpinned
+// replicas as needed. It returns false (and stores nothing) if the file
+// cannot fit even after evicting everything evictable. Adding an
+// already-resident file only refreshes recency.
+func (s *Store) AddReplica(id FileID, size float64) bool {
+	if e, ok := s.files[id]; ok {
+		s.touch(e)
+		return true
+	}
+	if size < 0 {
+		panic(fmt.Sprintf("storage: negative size %v", size))
+	}
+	if s.capacity > 0 {
+		if !s.makeRoom(size) {
+			return false
+		}
+	}
+	e := &entry{id: id, size: size}
+	e.lru = s.lru.PushFront(e)
+	s.files[id] = e
+	s.used += size
+	return true
+}
+
+// makeRoom evicts LRU unpinned replicas until size fits. It is
+// all-or-nothing: if the file cannot fit even after evicting everything
+// evictable, nothing is evicted and false is returned.
+func (s *Store) makeRoom(size float64) bool {
+	if s.used+size <= s.capacity {
+		return true
+	}
+	evictable := 0.0
+	for el := s.lru.Back(); el != nil; el = el.Prev() {
+		if e := el.Value.(*entry); e.pins == 0 {
+			evictable += e.size
+		}
+	}
+	if s.used-evictable+size > s.capacity {
+		return false
+	}
+	// Walk from the back (least recently used), skipping pinned entries.
+	for el := s.lru.Back(); el != nil && s.used+size > s.capacity; {
+		prev := el.Prev()
+		e := el.Value.(*entry)
+		if e.pins == 0 {
+			s.removeReplica(e)
+		}
+		el = prev
+	}
+	return true
+}
+
+func (s *Store) removeReplica(e *entry) {
+	s.lru.Remove(e.lru)
+	delete(s.files, e.id)
+	s.used -= e.size
+	s.evictions++
+	if s.onEvict != nil {
+		s.onEvict(e.id)
+	}
+}
+
+// RemoveReplica explicitly deletes a cached replica (the Dataset
+// Scheduler's "delete local files" action). It refuses masters, pinned
+// files, and absent files, returning false; a successful removal notifies
+// the eviction callback like an LRU eviction would.
+func (s *Store) RemoveReplica(id FileID) bool {
+	e, ok := s.files[id]
+	if !ok || e.master || e.pins > 0 {
+		return false
+	}
+	s.removeReplica(e)
+	return true
+}
+
+// Pin marks a resident file as in-use; pinned files are never evicted.
+// Pinning a non-resident file is an error (callers must fetch first).
+func (s *Store) Pin(id FileID) error {
+	e, ok := s.files[id]
+	if !ok {
+		return fmt.Errorf("storage: pin of non-resident file %d", id)
+	}
+	e.pins++
+	return nil
+}
+
+// Unpin releases one pin.
+func (s *Store) Unpin(id FileID) error {
+	e, ok := s.files[id]
+	if !ok {
+		return fmt.Errorf("storage: unpin of non-resident file %d", id)
+	}
+	if e.pins == 0 {
+		return fmt.Errorf("storage: unpin of unpinned file %d", id)
+	}
+	e.pins--
+	return nil
+}
+
+// Pins returns the pin count (0 if not resident).
+func (s *Store) Pins(id FileID) int {
+	if e, ok := s.files[id]; ok {
+		return e.pins
+	}
+	return 0
+}
+
+// IsMaster reports whether the resident copy is a master.
+func (s *Store) IsMaster(id FileID) bool {
+	e, ok := s.files[id]
+	return ok && e.master
+}
+
+// Resident returns the IDs of all resident files (order unspecified).
+func (s *Store) Resident() []FileID {
+	out := make([]FileID, 0, len(s.files))
+	for id := range s.files {
+		out = append(out, id)
+	}
+	return out
+}
+
+func (s *Store) touch(e *entry) {
+	if e.lru != nil {
+		s.lru.MoveToFront(e.lru)
+	}
+}

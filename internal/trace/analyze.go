@@ -1,0 +1,210 @@
+package trace
+
+import (
+	"fmt"
+	"sort"
+
+	"chicsim/internal/stats"
+)
+
+// JobTimeline is the reconstructed lifecycle of one job from a DGE trace.
+type JobTimeline struct {
+	Job       int
+	User      int
+	Site      int
+	Submit    float64
+	Dispatch  float64
+	DataReady float64 // -1 when the trace carries no data-ready event
+	Start     float64
+	End       float64
+}
+
+// Response returns End − Submit.
+func (jt JobTimeline) Response() float64 { return jt.End - jt.Submit }
+
+// Analysis is the offline recomputation of DGE metrics from a trace.
+type Analysis struct {
+	Jobs      []JobTimeline
+	Makespan  float64
+	Response  stats.Summary
+	QueueWait stats.Summary
+
+	FetchBytes   float64
+	ReplBytes    float64
+	OutputBytes  float64
+	FetchCount   int
+	ReplCount    int
+	OutputCount  int
+	PushCount    int
+	EvictCount   int
+	JobsPerSite  map[int]int
+	BytesPerFile map[int]float64
+}
+
+// AvgDataPerJobMB returns total traffic per completed job, matching the
+// paper's Figure 3b definition.
+func (a *Analysis) AvgDataPerJobMB() float64 {
+	if len(a.Jobs) == 0 {
+		return 0
+	}
+	return (a.FetchBytes + a.ReplBytes + a.OutputBytes) / 1e6 / float64(len(a.Jobs))
+}
+
+// SiteLoadGini returns the Gini coefficient of completed-job counts per
+// execution site: the hotspot concentration measure.
+func (a *Analysis) SiteLoadGini() float64 {
+	if len(a.JobsPerSite) == 0 {
+		return 0
+	}
+	var xs []float64
+	for _, n := range a.JobsPerSite {
+		xs = append(xs, float64(n))
+	}
+	g, err := stats.Gini(xs)
+	if err != nil {
+		return 0
+	}
+	return g
+}
+
+// Analyze reconstructs per-job timelines and aggregate metrics from a
+// trace, validating DGE invariants as it goes:
+//
+//   - each job has exactly one submitted/dispatched/started/completed
+//     event, in non-decreasing timestamp order;
+//   - every fetch_start is matched by exactly one fetch_end (same src/dst/
+//     file) and likewise for replica pushes;
+//   - no event precedes time zero.
+func Analyze(l *Log) (*Analysis, error) {
+	type lifecycle struct {
+		submit, dispatch, dataReady, start, end float64
+		seen                                    map[Kind]int
+		user, site                              int
+	}
+	jobs := make(map[int]*lifecycle)
+	get := func(id int) *lifecycle {
+		lc, ok := jobs[id]
+		if !ok {
+			lc = &lifecycle{seen: map[Kind]int{}, dataReady: -1}
+			jobs[id] = lc
+		}
+		return lc
+	}
+
+	a := &Analysis{
+		JobsPerSite:  make(map[int]int),
+		BytesPerFile: make(map[int]float64),
+	}
+	type flowKey struct {
+		file, src, dst int
+	}
+	openFetch := make(map[flowKey]int)
+	openPush := make(map[flowKey]int)
+	openOutput := make(map[flowKey]int)
+
+	for i, e := range l.Events() {
+		if e.T < 0 {
+			return nil, fmt.Errorf("trace: event %d at negative time %v", i, e.T)
+		}
+		if e.T > a.Makespan && isJobKind(e.Kind) {
+			a.Makespan = e.T
+		}
+		switch e.Kind {
+		case JobSubmitted:
+			lc := get(e.Job)
+			lc.submit = e.T
+			lc.user = e.User
+			lc.seen[JobSubmitted]++
+		case JobDispatched:
+			lc := get(e.Job)
+			lc.dispatch = e.T
+			lc.site = e.Site
+			lc.seen[JobDispatched]++
+		case JobDataReady:
+			get(e.Job).dataReady = e.T
+		case JobStarted:
+			lc := get(e.Job)
+			lc.start = e.T
+			lc.seen[JobStarted]++
+		case JobCompleted:
+			lc := get(e.Job)
+			lc.end = e.T
+			lc.seen[JobCompleted]++
+		case FetchStart:
+			openFetch[flowKey{e.File, e.Src, e.Dst}]++
+		case FetchEnd:
+			k := flowKey{e.File, e.Src, e.Dst}
+			if openFetch[k] == 0 {
+				return nil, fmt.Errorf("trace: fetch_end without start (file %d %d->%d)", e.File, e.Src, e.Dst)
+			}
+			openFetch[k]--
+			a.FetchBytes += e.Bytes
+			a.FetchCount++
+			a.BytesPerFile[e.File] += e.Bytes
+		case ReplPush:
+			a.PushCount++
+			openPush[flowKey{e.File, e.Src, e.Dst}]++
+		case ReplArrive:
+			k := flowKey{e.File, e.Src, e.Dst}
+			if openPush[k] == 0 {
+				return nil, fmt.Errorf("trace: repl_arrive without push (file %d %d->%d)", e.File, e.Src, e.Dst)
+			}
+			openPush[k]--
+			a.ReplBytes += e.Bytes
+			a.ReplCount++
+			a.BytesPerFile[e.File] += e.Bytes
+		case Evicted:
+			a.EvictCount++
+		case OutputStart:
+			openOutput[flowKey{e.Job, e.Src, e.Dst}]++
+		case OutputEnd:
+			k := flowKey{e.Job, e.Src, e.Dst}
+			if openOutput[k] == 0 {
+				return nil, fmt.Errorf("trace: output_end without start (job %d %d->%d)", e.Job, e.Src, e.Dst)
+			}
+			openOutput[k]--
+			a.OutputBytes += e.Bytes
+			a.OutputCount++
+		default:
+			return nil, fmt.Errorf("trace: unknown event kind %q", e.Kind)
+		}
+	}
+
+	var responses, waits []float64
+	ids := make([]int, 0, len(jobs))
+	for id := range jobs {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	for _, id := range ids {
+		lc := jobs[id]
+		for _, k := range []Kind{JobSubmitted, JobDispatched, JobStarted, JobCompleted} {
+			if lc.seen[k] != 1 {
+				return nil, fmt.Errorf("trace: job %d has %d %s events, want 1", id, lc.seen[k], k)
+			}
+		}
+		if lc.submit > lc.dispatch || lc.dispatch > lc.start || lc.start > lc.end {
+			return nil, fmt.Errorf("trace: job %d lifecycle out of order (%v %v %v %v)",
+				id, lc.submit, lc.dispatch, lc.start, lc.end)
+		}
+		a.Jobs = append(a.Jobs, JobTimeline{
+			Job: id, User: lc.user, Site: lc.site,
+			Submit: lc.submit, Dispatch: lc.dispatch, DataReady: lc.dataReady,
+			Start: lc.start, End: lc.end,
+		})
+		a.JobsPerSite[lc.site]++
+		responses = append(responses, lc.end-lc.submit)
+		waits = append(waits, lc.start-lc.dispatch)
+	}
+	a.Response = stats.Summarize(responses)
+	a.QueueWait = stats.Summarize(waits)
+	return a, nil
+}
+
+func isJobKind(k Kind) bool {
+	switch k {
+	case JobSubmitted, JobDispatched, JobDataReady, JobStarted, JobCompleted:
+		return true
+	}
+	return false
+}

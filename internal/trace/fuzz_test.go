@@ -1,0 +1,37 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzReadJSONL ensures the trace parser never panics and that anything it
+// accepts can be re-serialized and re-parsed to the same event count.
+func FuzzReadJSONL(f *testing.F) {
+	f.Add(`{"t":1,"kind":"job_submitted","job":1}`)
+	f.Add(`{"t":0,"kind":"fetch_start","file":3,"src":1,"dst":2}` + "\n" +
+		`{"t":5,"kind":"fetch_end","file":3,"src":1,"dst":2,"bytes":1e9}`)
+	f.Add(`{"t":-1,"kind":"evicted"}`)
+	f.Add(`garbage`)
+	f.Add(`{"kind":""}`)
+	f.Fuzz(func(t *testing.T, input string) {
+		l, err := ReadJSONL(strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := l.WriteJSONL(&buf); err != nil {
+			t.Fatalf("accepted log failed to serialize: %v", err)
+		}
+		l2, err := ReadJSONL(&buf)
+		if err != nil {
+			t.Fatalf("round trip failed: %v", err)
+		}
+		if l2.Len() != l.Len() {
+			t.Fatalf("round trip changed event count: %d -> %d", l.Len(), l2.Len())
+		}
+		// Analysis must never panic on parsed input (errors are fine).
+		_, _ = Analyze(l)
+	})
+}

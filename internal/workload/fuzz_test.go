@@ -1,0 +1,41 @@
+package workload
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"chicsim/internal/rng"
+)
+
+// FuzzReadTrace ensures the workload trace parser never panics and accepts
+// its own output.
+func FuzzReadTrace(f *testing.F) {
+	w, err := Generate(Spec{
+		Users: 2, Sites: 2, Files: 4, TotalJobs: 6,
+		MinFileBytes: 1e6, MaxFileBytes: 2e6, ComputePerGB: 300,
+		Popularity: Geometric, GeomP: 0.2, InputsPerJob: 1,
+	}, rng.New(1))
+	if err != nil {
+		f.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := w.WriteTrace(&buf); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.String())
+	f.Add(`{"spec":{}}`)
+	f.Add(`not json at all`)
+	f.Add(`{"spec":{"users":1},"file_sizes":[1]}` + "\n" + `{"id":0,"user":5,"inputs":[0],"compute_sec":1}`)
+	f.Fuzz(func(t *testing.T, input string) {
+		w, err := ReadTrace(strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		// Anything accepted must re-serialize without panicking.
+		var out bytes.Buffer
+		_ = w.WriteTrace(&out)
+		_ = w.TotalJobs()
+		_ = w.PopularityHistogram()
+	})
+}

@@ -1,0 +1,300 @@
+// Package workload generates the synthetic Data Grid workloads of the
+// paper's §5.1 and reads/writes them as trace files.
+//
+// Parameters follow Table 1 and the surrounding prose: dataset sizes are
+// uniform in [500 MB, 2 GB] with one initial replica each, users are mapped
+// evenly across sites and submit jobs in strict sequence, each job needs
+// one input file and computes for 300 s per GB of input, and the files a
+// user requests follow a geometric distribution over dataset ranks
+// (Figure 2). Zipf and uniform popularity plus multi-input jobs are
+// extensions.
+package workload
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+
+	"chicsim/internal/job"
+	"chicsim/internal/rng"
+	"chicsim/internal/storage"
+	"chicsim/internal/topology"
+)
+
+// Popularity selects the dataset-popularity distribution.
+type Popularity int
+
+const (
+	// Geometric is the paper's distribution (Figure 2).
+	Geometric Popularity = iota
+	// Zipf popularity (extension).
+	Zipf
+	// Uniform popularity (extension; every dataset equally likely).
+	Uniform
+)
+
+func (p Popularity) String() string {
+	switch p {
+	case Geometric:
+		return "geometric"
+	case Zipf:
+		return "zipf"
+	case Uniform:
+		return "uniform"
+	default:
+		return fmt.Sprintf("Popularity(%d)", int(p))
+	}
+}
+
+// Spec describes a workload to generate.
+type Spec struct {
+	Users     int // total users, mapped evenly across sites
+	Sites     int
+	Files     int
+	TotalJobs int // jobs across all users (paper: 6000)
+
+	MinFileBytes float64 // paper: 500 MB
+	MaxFileBytes float64 // paper: 2 GB
+	ComputePerGB float64 // seconds of compute per GB of input (paper: 300)
+
+	Popularity Popularity
+	GeomP      float64 // geometric parameter (core default 0.1; see DESIGN.md)
+	ZipfAlpha  float64 // zipf exponent (extension)
+
+	InputsPerJob int // 1 in the paper; > 1 is the multi-file extension
+
+	// UserFocus (extension) blends community-wide popularity with
+	// per-user working sets: with probability UserFocus a job's input is
+	// drawn from the user's private rank permutation instead of the
+	// shared ranking. 0 (the paper) means every user samples the same
+	// community distribution; 1 gives fully personal working sets (no
+	// community hotspots). Must be in [0, 1].
+	UserFocus float64
+}
+
+// Validate checks the spec for consistency.
+func (s *Spec) Validate() error {
+	switch {
+	case s.Users <= 0:
+		return fmt.Errorf("workload: Users = %d", s.Users)
+	case s.Sites <= 0:
+		return fmt.Errorf("workload: Sites = %d", s.Sites)
+	case s.Files <= 0:
+		return fmt.Errorf("workload: Files = %d", s.Files)
+	case s.TotalJobs <= 0:
+		return fmt.Errorf("workload: TotalJobs = %d", s.TotalJobs)
+	case s.MinFileBytes <= 0 || s.MaxFileBytes < s.MinFileBytes:
+		return fmt.Errorf("workload: file size range [%v, %v]", s.MinFileBytes, s.MaxFileBytes)
+	case s.ComputePerGB <= 0:
+		return fmt.Errorf("workload: ComputePerGB = %v", s.ComputePerGB)
+	case s.Popularity == Geometric && (s.GeomP <= 0 || s.GeomP >= 1):
+		return fmt.Errorf("workload: GeomP = %v", s.GeomP)
+	case s.Popularity == Zipf && s.ZipfAlpha < 0:
+		return fmt.Errorf("workload: ZipfAlpha = %v", s.ZipfAlpha)
+	case s.InputsPerJob < 1:
+		return fmt.Errorf("workload: InputsPerJob = %d", s.InputsPerJob)
+	case s.UserFocus < 0 || s.UserFocus > 1:
+		return fmt.Errorf("workload: UserFocus = %v, must be in [0, 1]", s.UserFocus)
+	}
+	return nil
+}
+
+// JobSpec is one generated job, before being instantiated as a *job.Job.
+type JobSpec struct {
+	ID      job.ID           `json:"id"`
+	User    job.UserID       `json:"user"`
+	Inputs  []storage.FileID `json:"inputs"`
+	Compute float64          `json:"compute_sec"`
+}
+
+// Workload is a fully generated scenario: file metadata, master placement,
+// user homes, and each user's job sequence.
+type Workload struct {
+	Spec       Spec              `json:"spec"`
+	FileSizes  []float64         `json:"file_sizes"`  // bytes, by FileID
+	MasterSite []topology.SiteID `json:"master_site"` // initial replica per file
+	UserHome   []topology.SiteID `json:"user_home"`   // by UserID
+	Jobs       [][]JobSpec       `json:"jobs"`        // [user][sequence]
+}
+
+// Generate builds a workload from the spec using the given random stream.
+// Dataset rank equals FileID: lower ids are more popular (the mapping of
+// ids to sites is itself uniform, so this loses no generality).
+func Generate(spec Spec, src *rng.Source) (*Workload, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	w := &Workload{
+		Spec:       spec,
+		FileSizes:  make([]float64, spec.Files),
+		MasterSite: make([]topology.SiteID, spec.Files),
+		UserHome:   make([]topology.SiteID, spec.Users),
+		Jobs:       make([][]JobSpec, spec.Users),
+	}
+	fileSrc := src.Derive("files")
+	for f := range w.FileSizes {
+		w.FileSizes[f] = fileSrc.Range(spec.MinFileBytes, spec.MaxFileBytes)
+		w.MasterSite[f] = topology.SiteID(fileSrc.Intn(spec.Sites))
+	}
+	for u := range w.UserHome {
+		w.UserHome[u] = topology.SiteID(u % spec.Sites) // mapped evenly
+	}
+
+	jobSrc := src.Derive("jobs")
+	var zipf *rng.Zipf
+	if spec.Popularity == Zipf {
+		zipf = rng.NewZipf(jobSrc.Derive("zipf"), spec.ZipfAlpha, spec.Files)
+	}
+	// Per-user rank permutations for the UserFocus extension: a user's
+	// private working set reinterprets rank k as their own k-th favorite.
+	var userRanks [][]int
+	if spec.UserFocus > 0 {
+		permSrc := src.Derive("user-ranks")
+		userRanks = make([][]int, spec.Users)
+		for u := range userRanks {
+			perm := make([]int, spec.Files)
+			for i := range perm {
+				perm[i] = i
+			}
+			rng.Shuffle(permSrc, perm)
+			userRanks[u] = perm
+		}
+	}
+	draw := func(user int) storage.FileID {
+		var rank int
+		switch spec.Popularity {
+		case Geometric:
+			rank = jobSrc.Geometric(spec.GeomP, spec.Files)
+		case Zipf:
+			rank = zipf.Draw()
+		case Uniform:
+			rank = jobSrc.Intn(spec.Files)
+		default:
+			panic("workload: unknown popularity distribution")
+		}
+		if spec.UserFocus > 0 && jobSrc.Float64() < spec.UserFocus {
+			return storage.FileID(userRanks[user][rank])
+		}
+		return storage.FileID(rank)
+	}
+
+	id := job.ID(0)
+	for n := 0; n < spec.TotalJobs; n++ {
+		u := n % spec.Users // deal jobs round-robin so users get ±1 of each other
+		inputs := make([]storage.FileID, 0, spec.InputsPerJob)
+		seen := make(map[storage.FileID]bool, spec.InputsPerJob)
+		for len(inputs) < spec.InputsPerJob {
+			f := draw(u)
+			if seen[f] {
+				continue // distinct inputs per job
+			}
+			seen[f] = true
+			inputs = append(inputs, f)
+		}
+		totalGB := 0.0
+		for _, f := range inputs {
+			totalGB += w.FileSizes[f] / 1e9
+		}
+		w.Jobs[u] = append(w.Jobs[u], JobSpec{
+			ID:      id,
+			User:    job.UserID(u),
+			Inputs:  inputs,
+			Compute: spec.ComputePerGB * totalGB,
+		})
+		id++
+	}
+	return w, nil
+}
+
+// TotalJobs returns the number of generated jobs.
+func (w *Workload) TotalJobs() int {
+	n := 0
+	for _, js := range w.Jobs {
+		n += len(js)
+	}
+	return n
+}
+
+// PopularityHistogram counts requests per dataset across the whole
+// workload — the reproduction of Figure 2.
+func (w *Workload) PopularityHistogram() []int {
+	h := make([]int, len(w.FileSizes))
+	for _, js := range w.Jobs {
+		for _, j := range js {
+			for _, f := range j.Inputs {
+				h[f]++
+			}
+		}
+	}
+	return h
+}
+
+// WriteTrace serializes the workload as JSON-lines: a header line with the
+// scenario, then one line per job in global submission order. The format
+// is the hook for replaying real traces (the paper's planned Fermi
+// workloads) through the same pipeline.
+func (w *Workload) WriteTrace(out io.Writer) error {
+	bw := bufio.NewWriter(out)
+	enc := json.NewEncoder(bw)
+	header := struct {
+		Spec       Spec              `json:"spec"`
+		FileSizes  []float64         `json:"file_sizes"`
+		MasterSite []topology.SiteID `json:"master_site"`
+		UserHome   []topology.SiteID `json:"user_home"`
+	}{w.Spec, w.FileSizes, w.MasterSite, w.UserHome}
+	if err := enc.Encode(header); err != nil {
+		return fmt.Errorf("workload: writing header: %w", err)
+	}
+	for _, js := range w.Jobs {
+		for _, j := range js {
+			if err := enc.Encode(j); err != nil {
+				return fmt.Errorf("workload: writing job %d: %w", j.ID, err)
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadTrace parses a trace produced by WriteTrace.
+func ReadTrace(in io.Reader) (*Workload, error) {
+	dec := json.NewDecoder(in)
+	var header struct {
+		Spec       Spec              `json:"spec"`
+		FileSizes  []float64         `json:"file_sizes"`
+		MasterSite []topology.SiteID `json:"master_site"`
+		UserHome   []topology.SiteID `json:"user_home"`
+	}
+	if err := dec.Decode(&header); err != nil {
+		return nil, fmt.Errorf("workload: reading header: %w", err)
+	}
+	w := &Workload{
+		Spec:       header.Spec,
+		FileSizes:  header.FileSizes,
+		MasterSite: header.MasterSite,
+		UserHome:   header.UserHome,
+		Jobs:       make([][]JobSpec, header.Spec.Users),
+	}
+	for {
+		var j JobSpec
+		if err := dec.Decode(&j); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("workload: reading job: %w", err)
+		}
+		if int(j.User) < 0 || int(j.User) >= len(w.Jobs) {
+			return nil, fmt.Errorf("workload: job %d has out-of-range user %d", j.ID, j.User)
+		}
+		for _, f := range j.Inputs {
+			if int(f) < 0 || int(f) >= len(w.FileSizes) {
+				return nil, fmt.Errorf("workload: job %d references undefined file %d", j.ID, f)
+			}
+		}
+		if j.Compute < 0 || math.IsNaN(j.Compute) {
+			return nil, fmt.Errorf("workload: job %d has invalid compute time %v", j.ID, j.Compute)
+		}
+		w.Jobs[j.User] = append(w.Jobs[j.User], j)
+	}
+	return w, nil
+}
