@@ -372,6 +372,37 @@ func BenchmarkAblationSubmissionModel(b *testing.B) {
 	}
 }
 
+// BenchmarkObservability measures the cost of the probe layer on the
+// default scenario: probes-off must match the uninstrumented seed hot
+// path (no sampling events are scheduled and no registry exists), and
+// probes-on shows the marginal cost of sampling ~129 probes every 60
+// virtual seconds. Compare the pair across BENCH_*.json entries to keep
+// the "zero cost when disabled" claim measurable.
+func BenchmarkObservability(b *testing.B) {
+	for _, interval := range []float64{0, 60} {
+		interval := interval
+		name := "probes-off"
+		if interval > 0 {
+			name = "probes-on"
+		}
+		b.Run(name, func(b *testing.B) {
+			cfg := core.DefaultConfig()
+			cfg.ObsInterval = interval
+			var points int
+			for i := 0; i < b.N; i++ {
+				res, err := core.RunConfig(cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if res.Series != nil {
+					points = len(res.Series.Points)
+				}
+			}
+			b.ReportMetric(float64(points), "samples/run")
+		})
+	}
+}
+
 // BenchmarkEngineThroughput measures raw simulator performance: virtual
 // events processed per wall second on the default scenario.
 func BenchmarkEngineThroughput(b *testing.B) {

@@ -16,6 +16,7 @@ import (
 
 	"chicsim/internal/core"
 	"chicsim/internal/netsim"
+	"chicsim/internal/obs"
 	"chicsim/internal/report"
 	"chicsim/internal/workload"
 )
@@ -63,6 +64,7 @@ func main() {
 	jsonOut := flag.Bool("json", false, "emit results as JSON instead of text")
 	configPath := flag.String("config", "", "load the model configuration from a JSON file (model flags are then ignored)")
 	saveConfig := flag.String("save-config", "", "write the effective configuration to this file and exit")
+	obsFlags := obs.BindFlags(flag.CommandLine)
 	flag.Parse()
 
 	if *configPath != "" {
@@ -163,11 +165,56 @@ func main() {
 	if *heatmap {
 		cfg.SampleInterval = 60
 	}
+	if obsFlags.SeriesPath != "" {
+		cfg.ObsInterval = obsFlags.SeriesInterval
+	}
 
-	res, err := core.RunConfig(cfg)
+	var manifest *obs.Manifest
+	if obsFlags.ManifestPath != "" {
+		var err error
+		manifest, err = obs.NewManifest("chicsim", cfg, []uint64{cfg.Seed})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "chicsim:", err)
+			os.Exit(1)
+		}
+	}
+	stopProfiling, err := obsFlags.StartProfiling()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "chicsim:", err)
 		os.Exit(1)
+	}
+
+	res, err := core.RunConfig(cfg)
+	if perr := stopProfiling(); perr != nil {
+		fmt.Fprintln(os.Stderr, "chicsim:", perr)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "chicsim:", err)
+		os.Exit(1)
+	}
+	if obsFlags.SeriesPath != "" {
+		f, err := os.Create(obsFlags.SeriesPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "chicsim:", err)
+			os.Exit(1)
+		}
+		report.SeriesCSV(f, res.Series)
+		if err := f.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "chicsim:", err)
+			os.Exit(1)
+		}
+		samples := 0
+		if res.Series != nil {
+			samples = len(res.Series.Points)
+		}
+		fmt.Fprintf(os.Stderr, "chicsim: wrote %d probe samples to %s\n", samples, obsFlags.SeriesPath)
+	}
+	if manifest != nil {
+		manifest.Finish()
+		if err := manifest.WriteFile(obsFlags.ManifestPath); err != nil {
+			fmt.Fprintln(os.Stderr, "chicsim:", err)
+			os.Exit(1)
+		}
 	}
 	if *jsonOut {
 		res.Samples = nil // keep the JSON compact

@@ -18,6 +18,7 @@ import (
 
 	"chicsim/internal/core"
 	"chicsim/internal/experiments"
+	"chicsim/internal/obs"
 	"chicsim/internal/report"
 )
 
@@ -29,6 +30,8 @@ func main() {
 	seeds := flag.Int("seeds", 3, "seed replications per cell")
 	workers := flag.Int("workers", 0, "parallel simulations (0 = GOMAXPROCS)")
 	list := flag.Bool("list", false, "print the Table 1 configuration and exit")
+	progressJSONL := flag.String("progress-jsonl", "", "stream per-simulation progress records to this JSONL file")
+	obsFlags := obs.BindFlags(flag.CommandLine)
 	flag.Parse()
 
 	base := core.DefaultConfig()
@@ -59,17 +62,65 @@ func main() {
 		os.Exit(2)
 	}
 
+	totalSims := len(cells) * len(seedList)
 	fmt.Fprintf(os.Stderr, "gridsweep: running %d cells × %d seeds (%d simulations)...\n",
-		len(cells), len(seedList), len(cells)*len(seedList))
-	results := experiments.Run(experiments.Campaign{
-		Base:    base,
-		Cells:   cells,
-		Seeds:   seedList,
-		Workers: *workers,
-	})
+		len(cells), len(seedList), totalSims)
+
+	var manifest *obs.Manifest
+	if obsFlags.ManifestPath != "" {
+		var err error
+		manifest, err = obs.NewManifest("gridsweep", base, seedList)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "gridsweep:", err)
+			os.Exit(1)
+		}
+		manifest.SetExtra("cells", len(cells))
+	}
+	progress := obs.NewProgress(os.Stderr, "gridsweep", totalSims)
+	if *progressJSONL != "" {
+		f, err := os.Create(*progressJSONL)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "gridsweep:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		progress.JSONLTo(f)
+	}
+	stopProfiling, err := obsFlags.StartProfiling()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "gridsweep:", err)
+		os.Exit(1)
+	}
+
+	campaign := experiments.Campaign{
+		Base:     base,
+		Cells:    cells,
+		Seeds:    seedList,
+		Workers:  *workers,
+		Progress: progress,
+	}
+	if obsFlags.SeriesPath != "" {
+		campaign.ObsInterval = obsFlags.SeriesInterval
+	}
+	results := experiments.Run(campaign)
+	progress.Finish()
+	if perr := stopProfiling(); perr != nil {
+		fmt.Fprintln(os.Stderr, "gridsweep:", perr)
+	}
 	for i := range results {
 		if results[i].Err != nil {
 			fmt.Fprintf(os.Stderr, "gridsweep: %v failed: %v\n", results[i].Cell, results[i].Err)
+		}
+	}
+	if obsFlags.SeriesPath != "" {
+		writeReferenceSeries(results, obsFlags.SeriesPath)
+	}
+	if manifest != nil {
+		manifest.SetExtra("workers", *workers)
+		manifest.Finish()
+		if err := manifest.WriteFile(obsFlags.ManifestPath); err != nil {
+			fmt.Fprintln(os.Stderr, "gridsweep:", err)
+			os.Exit(1)
 		}
 	}
 
@@ -119,6 +170,37 @@ func main() {
 				experiments.Cell{ES: "JobDataPresent", DS: "DataLeastLoaded", BandwidthMBps: 10})
 		}
 	}
+}
+
+// writeReferenceSeries dumps the probe series of the campaign's reference
+// run — first cell, lowest seed — as CSV. Series are sampled inside each
+// simulation's own event loop, so the file is bit-identical for a given
+// seed regardless of -workers.
+func writeReferenceSeries(results []experiments.CellResult, path string) {
+	for i := range results {
+		if results[i].Err != nil || len(results[i].Runs) == 0 {
+			continue
+		}
+		run := results[i].Runs[0]
+		f, err := os.Create(path)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "gridsweep:", err)
+			os.Exit(1)
+		}
+		report.SeriesCSV(f, run.Series)
+		if err := f.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "gridsweep:", err)
+			os.Exit(1)
+		}
+		samples := 0
+		if run.Series != nil {
+			samples = len(run.Series.Points)
+		}
+		fmt.Fprintf(os.Stderr, "gridsweep: wrote %d probe samples for %v seed=%d to %s\n",
+			samples, results[i].Cell, run.Seed, path)
+		return
+	}
+	fmt.Fprintln(os.Stderr, "gridsweep: no successful run to take a series from")
 }
 
 func printTable1(cfg core.Config) {

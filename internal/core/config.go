@@ -184,6 +184,16 @@ type Config struct {
 	// queue lengths, and in-flight transfers every so many virtual
 	// seconds into Results.Samples (feeds the utilization heatmap).
 	SampleInterval float64
+
+	// ObsInterval, when > 0, attaches the observability probe registry
+	// (internal/obs): per-site gauges (queue length, CPU utilization,
+	// storage fill, replica count) and grid-wide gauges/counters
+	// (in-flight transfers, GIS staleness, dispatches, replications,
+	// evictions, deletions, jobs done) are sampled every so many virtual
+	// seconds into Results.Series. Sampling rides an ordinary recurring
+	// engine event, so the series is deterministic for a given seed; at 0
+	// (the default) no probes exist and the hot path is untouched.
+	ObsInterval float64
 }
 
 // DefaultConfig returns the paper's Table 1 scenario 1 with the documented
@@ -248,6 +258,8 @@ func (c *Config) Validate() error {
 		return fmt.Errorf("core: BatchES %q requires BatchWindow > 0", c.BatchES)
 	case c.OutputFraction < 0:
 		return fmt.Errorf("core: OutputFraction = %v", c.OutputFraction)
+	case c.ObsInterval < 0:
+		return fmt.Errorf("core: ObsInterval = %v", c.ObsInterval)
 	}
 	for i, d := range c.Degradations {
 		if d.At < 0 || d.Duration <= 0 || d.Multiplier < 0 {

@@ -1,0 +1,87 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestProbeSeriesContent checks the observability wiring end to end: a
+// run with ObsInterval set produces a series with the standard probe set,
+// sensible values, and counters consistent with the run's results.
+func TestProbeSeriesContent(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.TotalJobs = 300
+	cfg.ObsInterval = 120
+	res, err := RunConfig(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := res.Series
+	if s == nil || len(s.Points) == 0 {
+		t.Fatal("ObsInterval set but Series empty")
+	}
+	// 9 grid-wide probes + 4 per site.
+	if want := 9 + 4*cfg.Sites; len(s.Names) != want {
+		t.Fatalf("probe count = %d, want %d", len(s.Names), want)
+	}
+	jobsDone := s.Column("jobs_done")
+	if jobsDone == nil {
+		t.Fatal("missing jobs_done probe")
+	}
+	for i := 1; i < len(jobsDone); i++ {
+		if jobsDone[i] < jobsDone[i-1] {
+			t.Fatalf("jobs_done counter decreased at point %d: %v", i, jobsDone[:i+1])
+		}
+	}
+	if last := jobsDone[len(jobsDone)-1]; last > float64(res.JobsDone) {
+		t.Fatalf("sampled jobs_done %v exceeds final total %d", last, res.JobsDone)
+	}
+	disp := s.Column("dispatches")
+	if last := disp[len(disp)-1]; last > float64(cfg.TotalJobs) {
+		t.Fatalf("dispatches %v exceeds total jobs %d", last, cfg.TotalJobs)
+	}
+	for _, u := range s.Column("s00.cpu_util") {
+		if u < 0 || u > 1 {
+			t.Fatalf("cpu_util out of range: %v", u)
+		}
+	}
+	for i := 1; i < len(s.Points); i++ {
+		if dt := s.Points[i].T - s.Points[i-1].T; dt != cfg.ObsInterval {
+			t.Fatalf("sampling cadence %v at point %d, want %v", dt, i, cfg.ObsInterval)
+		}
+	}
+}
+
+// TestProbeSeriesDeterministic checks bit-identical series for a repeated
+// seed, and that disabling observability leaves Results.Series nil.
+func TestProbeSeriesDeterministic(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.TotalJobs = 300
+	cfg.ObsInterval = 120
+	a, err := RunConfig(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunConfig(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a.Series, b.Series) {
+		t.Fatal("same seed produced different probe series")
+	}
+
+	cfg.ObsInterval = 0
+	c, err := RunConfig(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Series != nil {
+		t.Fatal("observability disabled but Series non-nil")
+	}
+	// Sampling is read-only: headline metrics must not depend on whether
+	// probes observed the run.
+	if c.AvgResponseSec != a.AvgResponseSec || c.JobsDone != a.JobsDone {
+		t.Fatalf("probes changed the simulation: response %v/%d jobs (on) vs %v/%d jobs (off)",
+			a.AvgResponseSec, a.JobsDone, c.AvgResponseSec, c.JobsDone)
+	}
+}

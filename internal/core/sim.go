@@ -9,6 +9,7 @@ import (
 	"chicsim/internal/job"
 	"chicsim/internal/metrics"
 	"chicsim/internal/netsim"
+	"chicsim/internal/obs"
 	"chicsim/internal/rng"
 	"chicsim/internal/scheduler"
 	"chicsim/internal/site"
@@ -53,6 +54,11 @@ type Results struct {
 	// Samples holds periodic grid snapshots when Config.SampleInterval
 	// is set (see report.Heatmap).
 	Samples []Sample
+
+	// Series holds the observability probe time series when
+	// Config.ObsInterval is set (see report.SeriesCSV). Excluded from
+	// JSON results; render it with the report package instead.
+	Series *obs.Series `json:"-"`
 }
 
 // Sample is one periodic snapshot of grid state.
@@ -94,6 +100,9 @@ type Simulation struct {
 	pushesInFlight map[pushKey]bool
 	replications   int
 	dsDeletions    int
+	dispatches     int // ES/batch dispatch hook-point counter
+
+	probes *obs.Registry // nil unless cfg.ObsInterval > 0
 	idleWindows    []map[storage.FileID]int // per site: consecutive access-free DS windows
 
 	rec trace.Recorder
@@ -323,7 +332,54 @@ func New(cfg Config) (*Simulation, error) {
 
 	s.nextJob = make([]int, cfg.Users)
 	s.arrivalSrc = root.Derive("arrivals")
+	if cfg.ObsInterval > 0 {
+		s.probes = obs.NewRegistry()
+		s.registerProbes()
+	}
 	return s, nil
+}
+
+// registerProbes installs the standard probe set. Registration order is
+// fixed (grid-wide first, then per-site) so series columns are stable
+// across runs and the output is byte-comparable.
+func (s *Simulation) registerProbes() {
+	r := s.probes
+	r.Counter("jobs_done", func() float64 { return float64(s.jobsDone) })
+	r.Counter("dispatches", func() float64 { return float64(s.dispatches) })
+	r.Counter("replications", func() float64 { return float64(s.replications) })
+	r.Counter("ds_deletions", func() float64 { return float64(s.dsDeletions) })
+	r.Counter("evictions", func() float64 {
+		n := 0
+		for _, st := range s.sites {
+			n += st.Store().Evictions()
+		}
+		return float64(n)
+	})
+	r.Gauge("jobs_running", func() float64 {
+		n := 0
+		for _, st := range s.sites {
+			n += st.Busy()
+		}
+		return float64(n)
+	})
+	r.Gauge("jobs_queued", func() float64 {
+		n := 0
+		for _, st := range s.sites {
+			n += st.QueueLen()
+		}
+		return float64(n)
+	})
+	r.Gauge("inflight_transfers", func() float64 { return float64(s.net.ActiveFlows()) })
+	r.Gauge("gis_staleness_s", func() float64 { return s.gis.SnapshotAge() })
+	for i, st := range s.sites {
+		st := st
+		r.Gauge(fmt.Sprintf("s%02d.queue_len", i), func() float64 { return float64(st.QueueLen()) })
+		r.Gauge(fmt.Sprintf("s%02d.cpu_util", i), func() float64 {
+			return float64(st.Busy()) / float64(st.CEs())
+		})
+		r.Gauge(fmt.Sprintf("s%02d.storage_gb", i), func() float64 { return st.Store().Used() / 1e9 })
+		r.Gauge(fmt.Sprintf("s%02d.replicas", i), func() float64 { return float64(st.Store().Len()) })
+	}
 }
 
 // hostedES reinterprets "local" as the scheduler's host site, used for the
@@ -366,7 +422,16 @@ func (s *Simulation) Run() (Results, error) {
 		}
 	}
 	if s.cfg.SampleInterval > 0 {
-		s.eng.Schedule(s.cfg.SampleInterval, s.sample)
+		s.eng.Every(s.cfg.SampleInterval, func() bool {
+			if s.finished {
+				return false
+			}
+			s.sample()
+			return true
+		})
+	}
+	if s.probes != nil {
+		s.probes.Attach(s.eng, s.cfg.ObsInterval, func() bool { return !s.finished })
 	}
 	if s.batch != nil {
 		s.eng.Schedule(s.cfg.BatchWindow, s.flushBatch)
@@ -448,6 +513,9 @@ func (s *Simulation) Run() (Results, error) {
 		r.SiteJobGini = g
 	}
 	r.Samples = s.samples
+	if s.probes != nil {
+		r.Series = s.probes.Series()
+	}
 	util := s.net.LinkUtilization()
 	var nBack, nAcc int
 	for i, u := range util {
@@ -502,6 +570,7 @@ func (s *Simulation) submitNext(u job.UserID) {
 	if target < 0 || int(target) >= len(s.sites) {
 		panic(fmt.Sprintf("core: ES %s placed job %d at invalid site %d", s.cfg.ES, j.ID, target))
 	}
+	s.dispatches++
 	s.rec.Record(trace.Event{T: s.eng.Now(), Kind: trace.JobDispatched, Job: int(j.ID), Site: int(target)})
 	s.sites[target].Enqueue(j)
 }
@@ -595,6 +664,7 @@ func (s *Simulation) flushBatch() {
 			if t < 0 || int(t) >= len(s.sites) {
 				panic(fmt.Sprintf("core: batch scheduler placed job %d at invalid site %d", j.ID, t))
 			}
+			s.dispatches++
 			s.rec.Record(trace.Event{T: s.eng.Now(), Kind: trace.JobDispatched, Job: int(j.ID), Site: int(t)})
 			s.sites[t].Enqueue(j)
 		}
@@ -602,12 +672,9 @@ func (s *Simulation) flushBatch() {
 	s.eng.Schedule(s.cfg.BatchWindow, s.flushBatch)
 }
 
-// sample records one grid snapshot and reschedules itself while the
-// workload runs.
+// sample records one grid snapshot (driven by a recurring engine event
+// while the workload runs).
 func (s *Simulation) sample() {
-	if s.finished {
-		return
-	}
 	smp := Sample{
 		T:           s.eng.Now(),
 		SiteBusy:    make([]float64, len(s.sites)),
@@ -618,7 +685,6 @@ func (s *Simulation) sample() {
 		smp.QueuedJobs += st.QueueLen()
 	}
 	s.samples = append(s.samples, smp)
-	s.eng.Schedule(s.cfg.SampleInterval, s.sample)
 }
 
 // dsWake runs one Dataset Scheduler cycle at site i and reschedules itself

@@ -1,0 +1,31 @@
+package desim
+
+import (
+	"fmt"
+	"math"
+)
+
+// Every schedules fn to run every interval seconds of virtual time, with
+// the first firing at Now()+interval. After each firing, fn's return value
+// decides whether the ticker re-arms: returning false ends the recurrence
+// and leaves nothing in the queue, so a drained engine can still terminate.
+//
+// This is the primitive behind periodic activities — Dataset Scheduler
+// wake-ups, state sampling, observability probes. Because each firing is an
+// ordinary event, recurrences interleave deterministically with all other
+// events under the engine's (time, sequence) total order.
+func (e *Engine) Every(interval Time, fn func() bool) {
+	if math.IsNaN(interval) || interval <= 0 {
+		panic(fmt.Sprintf("desim: Every with invalid interval %v", interval))
+	}
+	if fn == nil {
+		panic("desim: Every with nil callback")
+	}
+	var tick func()
+	tick = func() {
+		if fn() {
+			e.Schedule(interval, tick)
+		}
+	}
+	e.Schedule(interval, tick)
+}

@@ -1,0 +1,67 @@
+package desim
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestEveryFiresOnCadenceUntilStopped(t *testing.T) {
+	eng := New()
+	var fired []Time
+	eng.Every(2.5, func() bool {
+		fired = append(fired, eng.Now())
+		return len(fired) < 3
+	})
+	eng.Run()
+	want := []Time{2.5, 5, 7.5}
+	if !reflect.DeepEqual(fired, want) {
+		t.Fatalf("fired at %v, want %v", fired, want)
+	}
+	if eng.Pending() != 0 {
+		t.Fatalf("ticker left %d events pending after stopping", eng.Pending())
+	}
+}
+
+func TestEveryInterleavesDeterministically(t *testing.T) {
+	run := func() []Time {
+		eng := New()
+		var order []Time
+		eng.Schedule(3, func() { order = append(order, eng.Now()) })
+		eng.Every(3, func() bool {
+			order = append(order, -eng.Now()) // mark ticker firings negative
+			return eng.Now() < 9
+		})
+		eng.Run()
+		return order
+	}
+	a, b := run(), run()
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("nondeterministic interleaving: %v vs %v", a, b)
+	}
+	// The one-shot at t=3 was scheduled before the ticker, so it fires
+	// first at the tie.
+	if len(a) < 2 || a[0] != 3 || a[1] != -3 {
+		t.Fatalf("tie broken out of scheduling order: %v", a)
+	}
+}
+
+func TestEveryInvalidArgsPanic(t *testing.T) {
+	for _, interval := range []Time{0, -1} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Every(%v) did not panic", interval)
+				}
+			}()
+			New().Every(interval, func() bool { return false })
+		}()
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("Every with nil callback did not panic")
+			}
+		}()
+		New().Every(1, nil)
+	}()
+}

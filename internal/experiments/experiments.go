@@ -16,6 +16,7 @@ import (
 	"sync"
 
 	"chicsim/internal/core"
+	"chicsim/internal/obs"
 	"chicsim/internal/stats"
 )
 
@@ -84,6 +85,17 @@ type Campaign struct {
 	Cells   []Cell
 	Seeds   []uint64
 	Workers int // <= 0: GOMAXPROCS
+
+	// ObsInterval, when > 0, attaches the probe registry to every
+	// simulation (overriding Base.ObsInterval) so each run's Results
+	// carry a per-site time series. Each simulation samples on its own
+	// virtual clock, so series are bit-identical regardless of Workers.
+	ObsInterval float64
+
+	// Progress, when non-nil, receives wall-clock telemetry (runs
+	// done/total, sims/sec, ETA, worker occupancy) as workers pick up
+	// and finish simulations. May be nil.
+	Progress *obs.Progress
 }
 
 // PaperSeeds are the default three seed replications ("within each set of
@@ -131,6 +143,7 @@ func Run(c Campaign) []CellResult {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
+	c.Progress.SetWorkers(workers)
 
 	type task struct {
 		cell int
@@ -155,7 +168,12 @@ func Run(c Campaign) []CellResult {
 				cfg.DS = c.Cells[t.cell].DS
 				cfg.BandwidthMBps = c.Cells[t.cell].BandwidthMBps
 				cfg.Seed = t.seed
+				if c.ObsInterval > 0 {
+					cfg.ObsInterval = c.ObsInterval
+				}
+				c.Progress.RunStart()
 				res, err := core.RunConfig(cfg)
+				c.Progress.RunDone(fmt.Sprintf("%v seed=%d", c.Cells[t.cell], t.seed))
 				outcomes <- outcome{cell: t.cell, res: res, err: err}
 			}
 		}()

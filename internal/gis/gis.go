@@ -134,6 +134,17 @@ func (s *Service) refresh() {
 	}
 }
 
+// SnapshotAge returns how old (in virtual seconds) the snapshot backing
+// answers currently is: 0 for the oracle, and 0 before the first query
+// has forced a snapshot. Exposed as an observability probe so a series
+// shows how stale the information schedulers were acting on.
+func (s *Service) SnapshotAge() float64 {
+	if s.stale <= 0 || s.snapTime < 0 {
+		return 0
+	}
+	return s.eng.Now() - s.snapTime
+}
+
 // Load returns the (possibly snapshotted) load of a site.
 func (s *Service) Load(site topology.SiteID) int {
 	if s.stale <= 0 {

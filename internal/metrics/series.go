@@ -1,0 +1,51 @@
+package metrics
+
+import "chicsim/internal/obs"
+
+// SeriesStat summarizes one probe's time series. For gauges Min/Mean/Max
+// describe the sampled levels; for counters Last is the final running
+// total and Rate its average growth per virtual second over the sampled
+// window.
+type SeriesStat struct {
+	Name string
+	Kind obs.Kind
+	Min  float64
+	Mean float64
+	Max  float64
+	Last float64
+	Rate float64 // counters: (last − first) / (tLast − tFirst)
+}
+
+// SeriesStats aggregates every probe of a sampled series, in probe order.
+// It returns nil for a nil or empty series.
+func SeriesStats(s *obs.Series) []SeriesStat {
+	if s == nil || len(s.Points) == 0 {
+		return nil
+	}
+	out := make([]SeriesStat, len(s.Names))
+	first, last := s.Points[0], s.Points[len(s.Points)-1]
+	span := last.T - first.T
+	for i, name := range s.Names {
+		st := SeriesStat{Name: name, Kind: s.Kinds[i]}
+		st.Min = first.Values[i]
+		st.Max = first.Values[i]
+		sum := 0.0
+		for _, p := range s.Points {
+			v := p.Values[i]
+			if v < st.Min {
+				st.Min = v
+			}
+			if v > st.Max {
+				st.Max = v
+			}
+			sum += v
+		}
+		st.Mean = sum / float64(len(s.Points))
+		st.Last = last.Values[i]
+		if st.Kind == obs.CounterKind && span > 0 {
+			st.Rate = (last.Values[i] - first.Values[i]) / span
+		}
+		out[i] = st
+	}
+	return out
+}

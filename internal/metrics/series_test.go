@@ -1,0 +1,44 @@
+package metrics
+
+import (
+	"testing"
+
+	"chicsim/internal/obs"
+)
+
+func TestSeriesStats(t *testing.T) {
+	s := &obs.Series{
+		Names: []string{"queue", "done"},
+		Kinds: []obs.Kind{obs.GaugeKind, obs.CounterKind},
+		Points: []obs.Point{
+			{T: 10, Values: []float64{4, 0}},
+			{T: 20, Values: []float64{1, 6}},
+			{T: 30, Values: []float64{3, 10}},
+		},
+	}
+	stats := SeriesStats(s)
+	if len(stats) != 2 {
+		t.Fatalf("stats len = %d", len(stats))
+	}
+	q := stats[0]
+	if q.Name != "queue" || q.Min != 1 || q.Max != 4 || q.Last != 3 {
+		t.Fatalf("gauge stats = %+v", q)
+	}
+	if want := (4.0 + 1 + 3) / 3; q.Mean != want {
+		t.Fatalf("gauge mean = %v, want %v", q.Mean, want)
+	}
+	d := stats[1]
+	if d.Kind != obs.CounterKind || d.Last != 10 {
+		t.Fatalf("counter stats = %+v", d)
+	}
+	if want := 10.0 / 20; d.Rate != want { // (10−0)/(30−10)
+		t.Fatalf("counter rate = %v, want %v", d.Rate, want)
+	}
+
+	if SeriesStats(nil) != nil {
+		t.Fatal("nil series should yield nil stats")
+	}
+	if SeriesStats(&obs.Series{Names: []string{"x"}, Kinds: []obs.Kind{obs.GaugeKind}}) != nil {
+		t.Fatal("empty series should yield nil stats")
+	}
+}

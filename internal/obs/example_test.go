@@ -1,0 +1,37 @@
+package obs_test
+
+import (
+	"fmt"
+
+	"chicsim/internal/desim"
+	"chicsim/internal/obs"
+)
+
+// A registry samples its probes on the virtual clock. Here a queue-depth
+// gauge and a completed-jobs counter are sampled every 10 virtual seconds
+// while a tiny "workload" (two state-changing events) plays out; sampling
+// stops once the clock passes 30 so the engine can drain.
+func Example() {
+	eng := desim.New()
+	queue, done := 4, 0
+
+	reg := obs.NewRegistry()
+	reg.Gauge("queue_len", func() float64 { return float64(queue) })
+	reg.Counter("jobs_done", func() float64 { return float64(done) })
+
+	eng.Schedule(5, func() { queue, done = 2, 2 })
+	eng.Schedule(25, func() { queue, done = 0, 4 })
+	reg.Attach(eng, 10, func() bool { return eng.Now() < 40 })
+	eng.Run()
+
+	s := reg.Series()
+	fmt.Println("probes:", s.Names)
+	for _, p := range s.Points {
+		fmt.Printf("t=%g queue_len=%g jobs_done=%g\n", p.T, p.Values[0], p.Values[1])
+	}
+	// Output:
+	// probes: [queue_len jobs_done]
+	// t=10 queue_len=2 jobs_done=2
+	// t=20 queue_len=2 jobs_done=2
+	// t=30 queue_len=0 jobs_done=4
+}

@@ -1,0 +1,83 @@
+package obs
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"os/exec"
+	"runtime"
+	"strings"
+	"time"
+)
+
+// Manifest records the provenance of one experiment run: what was run,
+// with which configuration (by hash), on which code (git describe), and
+// how long it took. Emit it next to result files so a series or table can
+// always be traced back to the exact run that produced it.
+type Manifest struct {
+	Command      string         `json:"command"`
+	Args         []string       `json:"args"`
+	ConfigSHA256 string         `json:"config_sha256"`
+	Seeds        []uint64       `json:"seeds,omitempty"`
+	GitDescribe  string         `json:"git_describe,omitempty"`
+	GoVersion    string         `json:"go_version"`
+	Started      time.Time      `json:"started"`
+	Finished     time.Time      `json:"finished"`
+	WallSeconds  float64        `json:"wall_seconds"`
+	Extra        map[string]any `json:"extra,omitempty"`
+}
+
+// NewManifest starts a manifest for command, hashing the JSON encoding of
+// config (so two runs with identical effective configurations hash
+// identically regardless of how the flags were spelled).
+func NewManifest(command string, config any, seeds []uint64) (*Manifest, error) {
+	js, err := json.Marshal(config)
+	if err != nil {
+		return nil, fmt.Errorf("obs: hashing config: %w", err)
+	}
+	sum := sha256.Sum256(js)
+	return &Manifest{
+		Command:      command,
+		Args:         os.Args[1:],
+		ConfigSHA256: hex.EncodeToString(sum[:]),
+		Seeds:        seeds,
+		GitDescribe:  gitDescribe(),
+		GoVersion:    runtime.Version(),
+		Started:      time.Now(),
+	}, nil
+}
+
+// SetExtra attaches an auxiliary key (worker count, cell count, ...).
+func (m *Manifest) SetExtra(key string, value any) {
+	if m.Extra == nil {
+		m.Extra = make(map[string]any)
+	}
+	m.Extra[key] = value
+}
+
+// Finish stamps the end time and wall duration.
+func (m *Manifest) Finish() {
+	m.Finished = time.Now()
+	m.WallSeconds = m.Finished.Sub(m.Started).Seconds()
+}
+
+// WriteFile writes the manifest as indented JSON.
+func (m *Manifest) WriteFile(path string) error {
+	js, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return fmt.Errorf("obs: encoding manifest: %w", err)
+	}
+	return os.WriteFile(path, append(js, '\n'), 0o644)
+}
+
+// gitDescribe best-effort identifies the working tree; "" when git or the
+// repository is unavailable (e.g. a released binary).
+func gitDescribe() string {
+	out, err := exec.Command("git", "describe", "--always", "--dirty", "--tags").Output()
+	if err != nil {
+		return ""
+	}
+	return strings.TrimSpace(string(out))
+}

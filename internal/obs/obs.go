@@ -1,0 +1,148 @@
+// Package obs is the live observability layer of the simulator: named
+// probes sampled on the virtual clock (Registry), wall-clock progress
+// telemetry for experiment sweeps (Progress), shared profiling/series
+// flag wiring for commands (Flags), and run manifests for provenance
+// (Manifest).
+//
+// The layer is strictly opt-in. A simulation with no registry attached
+// schedules no sampling events and allocates nothing here, so the hot
+// path is untouched when observability is off (bench_test.go's
+// BenchmarkObservability pair measures exactly that). When a registry is
+// attached, samples are taken by an ordinary recurring desim event, so
+// the resulting time series is part of the deterministic event order:
+// the same seed yields a bit-identical series regardless of how many
+// simulations run in parallel around it.
+package obs
+
+import (
+	"fmt"
+
+	"chicsim/internal/desim"
+)
+
+// Kind distinguishes probe semantics: a Gauge is an instantaneous level
+// (queue depth, utilization), a Counter is a monotone running total
+// (dispatches, evictions).
+type Kind uint8
+
+const (
+	// GaugeKind marks an instantaneous level.
+	GaugeKind Kind = iota
+	// CounterKind marks a monotone running total.
+	CounterKind
+)
+
+func (k Kind) String() string {
+	switch k {
+	case GaugeKind:
+		return "gauge"
+	case CounterKind:
+		return "counter"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Point is one sampling instant: the virtual time and the value of every
+// registered probe, in registration order.
+type Point struct {
+	T      float64
+	Values []float64
+}
+
+// Series is the output of a run's sampling: probe names/kinds plus one
+// Point per tick. Treat as read-only once produced.
+type Series struct {
+	Names  []string
+	Kinds  []Kind
+	Points []Point
+}
+
+// Column returns the time series of the named probe, or nil if no such
+// probe was registered.
+func (s *Series) Column(name string) []float64 {
+	if s == nil {
+		return nil
+	}
+	for i, n := range s.Names {
+		if n != name {
+			continue
+		}
+		out := make([]float64, len(s.Points))
+		for p, pt := range s.Points {
+			out[p] = pt.Values[i]
+		}
+		return out
+	}
+	return nil
+}
+
+// Registry holds named probes and accumulates their sampled series. It is
+// bound to a single simulation and, like the engine it samples on, is not
+// safe for concurrent use.
+type Registry struct {
+	names []string
+	kinds []Kind
+	fns   []func() float64
+	byName map[string]bool
+
+	points []Point
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{byName: make(map[string]bool)}
+}
+
+func (r *Registry) register(name string, kind Kind, fn func() float64) {
+	if fn == nil {
+		panic(fmt.Sprintf("obs: probe %q with nil function", name))
+	}
+	if r.byName[name] {
+		panic(fmt.Sprintf("obs: duplicate probe %q", name))
+	}
+	r.byName[name] = true
+	r.names = append(r.names, name)
+	r.kinds = append(r.kinds, kind)
+	r.fns = append(r.fns, fn)
+}
+
+// Gauge registers an instantaneous-level probe. Names must be unique
+// within the registry; registration order fixes the column order of the
+// resulting series.
+func (r *Registry) Gauge(name string, fn func() float64) { r.register(name, GaugeKind, fn) }
+
+// Counter registers a monotone running-total probe.
+func (r *Registry) Counter(name string, fn func() float64) { r.register(name, CounterKind, fn) }
+
+// Len returns the number of registered probes.
+func (r *Registry) Len() int { return len(r.fns) }
+
+// Sample evaluates every probe once and appends a Point at virtual time t.
+func (r *Registry) Sample(t float64) {
+	vals := make([]float64, len(r.fns))
+	for i, fn := range r.fns {
+		vals[i] = fn()
+	}
+	r.points = append(r.points, Point{T: t, Values: vals})
+}
+
+// Attach schedules sampling on eng every interval seconds of virtual
+// time. Before each tick samples, keepGoing is consulted (nil means
+// "always"); returning false ends the recurrence without taking a final
+// sample, so a finished workload stops producing points and the engine
+// can drain.
+func (r *Registry) Attach(eng *desim.Engine, interval float64, keepGoing func() bool) {
+	eng.Every(interval, func() bool {
+		if keepGoing != nil && !keepGoing() {
+			return false
+		}
+		r.Sample(eng.Now())
+		return true
+	})
+}
+
+// Series returns everything sampled so far.
+func (r *Registry) Series() *Series {
+	return &Series{Names: r.names, Kinds: r.kinds, Points: r.points}
+}

@@ -1,0 +1,75 @@
+package obs
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// Flags is the shared observability flag block for commands: pprof
+// profiling, probe-series output, and run-manifest emission. Bind it once
+// per command with BindFlags so every binary exposes the same vocabulary.
+type Flags struct {
+	CPUProfile     string
+	MemProfile     string
+	SeriesPath     string  // -obs: CSV destination for the probe series
+	SeriesInterval float64 // -obs-interval: virtual seconds between samples
+	ManifestPath   string  // -manifest: JSON run-manifest destination
+}
+
+// BindFlags registers the shared observability flags on fs (use
+// flag.CommandLine in main) and returns the destination struct.
+func BindFlags(fs *flag.FlagSet) *Flags {
+	f := &Flags{}
+	fs.StringVar(&f.CPUProfile, "cpuprofile", "", "write a pprof CPU profile to this file")
+	fs.StringVar(&f.MemProfile, "memprofile", "", "write a pprof heap profile to this file on exit")
+	fs.StringVar(&f.SeriesPath, "obs", "", "sample observability probes and write the time series to this CSV file")
+	fs.Float64Var(&f.SeriesInterval, "obs-interval", 60, "virtual-time probe sampling interval in seconds (with -obs)")
+	fs.StringVar(&f.ManifestPath, "manifest", "", "write a run manifest (config hash, seeds, git describe, timings) to this JSON file")
+	return f
+}
+
+// StartProfiling begins CPU profiling if requested. The returned stop
+// function ends CPU profiling and writes the heap profile if requested;
+// it is safe to call when neither profile was enabled.
+func (f *Flags) StartProfiling() (stop func() error, err error) {
+	var cpu *os.File
+	if f.CPUProfile != "" {
+		cpu, err = os.Create(f.CPUProfile)
+		if err != nil {
+			return nil, fmt.Errorf("obs: cpu profile: %w", err)
+		}
+		if err := pprof.StartCPUProfile(cpu); err != nil {
+			cpu.Close()
+			return nil, fmt.Errorf("obs: cpu profile: %w", err)
+		}
+	}
+	return func() error {
+		var first error
+		if cpu != nil {
+			pprof.StopCPUProfile()
+			if err := cpu.Close(); err != nil && first == nil {
+				first = err
+			}
+		}
+		if f.MemProfile != "" {
+			mem, err := os.Create(f.MemProfile)
+			if err != nil {
+				if first == nil {
+					first = err
+				}
+			} else {
+				runtime.GC() // settle allocations so the heap profile is meaningful
+				if err := pprof.WriteHeapProfile(mem); err != nil && first == nil {
+					first = err
+				}
+				if err := mem.Close(); err != nil && first == nil {
+					first = err
+				}
+			}
+		}
+		return first
+	}, nil
+}

@@ -1,0 +1,127 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+	"time"
+)
+
+// Progress reports wall-clock telemetry for a sweep of independent
+// simulations: runs done/total, throughput, ETA, and worker occupancy.
+// It is safe for concurrent use by the experiment runner's workers, and
+// every method is a no-op on a nil receiver so call sites need no guards.
+//
+// Text lines go to the writer passed to NewProgress (normally stderr);
+// JSONLTo additionally streams one JSON object per completed run to a
+// machine-readable sink.
+type Progress struct {
+	mu      sync.Mutex
+	text    io.Writer
+	jsonl   io.Writer
+	label   string
+	total   int
+	workers int
+	done    int
+	running int
+	start   time.Time
+	now     func() time.Time // injectable for tests
+}
+
+// NewProgress creates a reporter for total runs, writing human-readable
+// lines prefixed with label to w. A nil w suppresses text output (useful
+// with a JSONL-only sink).
+func NewProgress(w io.Writer, label string, total int) *Progress {
+	p := &Progress{text: w, label: label, total: total, now: time.Now}
+	p.start = p.now()
+	return p
+}
+
+// JSONLTo streams one JSON line per completed run to w.
+func (p *Progress) JSONLTo(w io.Writer) {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.jsonl = w
+}
+
+// SetWorkers records the size of the worker pool (for occupancy lines).
+func (p *Progress) SetWorkers(n int) {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.workers = n
+}
+
+// RunStart notes that a worker picked up a simulation.
+func (p *Progress) RunStart() {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.running++
+}
+
+// RunDone notes that the simulation labelled `run` completed, and emits a
+// progress line (and JSONL record, if a sink is set).
+func (p *Progress) RunDone(run string) {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.running--
+	p.done++
+	elapsed := p.now().Sub(p.start).Seconds()
+	rate, eta := 0.0, 0.0
+	if elapsed > 0 {
+		rate = float64(p.done) / elapsed
+	}
+	if rate > 0 {
+		eta = float64(p.total-p.done) / rate
+	}
+	if p.text != nil {
+		fmt.Fprintf(p.text, "%s: %d/%d sims (%.0f%%) | %.1f sims/s | ETA %.0fs | %d/%d workers busy | done %s\n",
+			p.label, p.done, p.total, 100*float64(p.done)/float64(p.total), rate, eta, p.running, p.workers, run)
+	}
+	if p.jsonl != nil {
+		rec := struct {
+			Label     string  `json:"label"`
+			Run       string  `json:"run"`
+			Done      int     `json:"done"`
+			Total     int     `json:"total"`
+			Running   int     `json:"running"`
+			Workers   int     `json:"workers"`
+			ElapsedS  float64 `json:"elapsed_s"`
+			SimsPerS  float64 `json:"sims_per_s"`
+			EtaS      float64 `json:"eta_s"`
+		}{p.label, run, p.done, p.total, p.running, p.workers, elapsed, rate, eta}
+		if b, err := json.Marshal(rec); err == nil {
+			fmt.Fprintf(p.jsonl, "%s\n", b)
+		}
+	}
+}
+
+// Finish emits a closing summary line.
+func (p *Progress) Finish() {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	elapsed := p.now().Sub(p.start).Seconds()
+	rate := 0.0
+	if elapsed > 0 {
+		rate = float64(p.done) / elapsed
+	}
+	if p.text != nil {
+		fmt.Fprintf(p.text, "%s: finished %d/%d sims in %.1fs (%.1f sims/s)\n",
+			p.label, p.done, p.total, elapsed, rate)
+	}
+}

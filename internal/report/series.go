@@ -1,0 +1,53 @@
+package report
+
+import (
+	"fmt"
+	"io"
+
+	"chicsim/internal/metrics"
+	"chicsim/internal/obs"
+)
+
+// SeriesCSV writes a sampled probe series as CSV: a `t` column of virtual
+// timestamps followed by one column per probe in registration order. The
+// output is bit-identical for a given seed (values are engine state
+// sampled at deterministic event times, formatted with %g).
+func SeriesCSV(w io.Writer, s *obs.Series) {
+	if s == nil || len(s.Names) == 0 {
+		fmt.Fprintln(w, "(no series; set Config.ObsInterval)")
+		return
+	}
+	fmt.Fprint(w, "t")
+	for _, n := range s.Names {
+		fmt.Fprintf(w, ",%s", n)
+	}
+	fmt.Fprintln(w)
+	for _, p := range s.Points {
+		fmt.Fprintf(w, "%g", p.T)
+		for _, v := range p.Values {
+			fmt.Fprintf(w, ",%g", v)
+		}
+		fmt.Fprintln(w)
+	}
+}
+
+// SeriesMarkdown writes a per-probe summary table (min/mean/max/last, and
+// average rate for counters) in GitHub-flavored markdown — the compact
+// companion to the full SeriesCSV dump.
+func SeriesMarkdown(w io.Writer, s *obs.Series) {
+	stats := metrics.SeriesStats(s)
+	if len(stats) == 0 {
+		fmt.Fprintln(w, "(no series; set Config.ObsInterval)")
+		return
+	}
+	fmt.Fprintln(w, "| probe | kind | min | mean | max | last | rate/s |")
+	fmt.Fprintln(w, "|---|---|---|---|---|---|---|")
+	for _, st := range stats {
+		rate := "–"
+		if st.Kind == obs.CounterKind {
+			rate = fmt.Sprintf("%.3g", st.Rate)
+		}
+		fmt.Fprintf(w, "| %s | %s | %.3g | %.3g | %.3g | %.3g | %s |\n",
+			st.Name, st.Kind, st.Min, st.Mean, st.Max, st.Last, rate)
+	}
+}

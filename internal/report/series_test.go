@@ -1,0 +1,52 @@
+package report
+
+import (
+	"strings"
+	"testing"
+
+	"chicsim/internal/obs"
+)
+
+func sampleSeries() *obs.Series {
+	return &obs.Series{
+		Names: []string{"queue", "done"},
+		Kinds: []obs.Kind{obs.GaugeKind, obs.CounterKind},
+		Points: []obs.Point{
+			{T: 60, Values: []float64{4, 0}},
+			{T: 120, Values: []float64{1.5, 6}},
+		},
+	}
+}
+
+func TestSeriesCSV(t *testing.T) {
+	var sb strings.Builder
+	SeriesCSV(&sb, sampleSeries())
+	want := "t,queue,done\n60,4,0\n120,1.5,6\n"
+	if sb.String() != want {
+		t.Fatalf("CSV = %q, want %q", sb.String(), want)
+	}
+
+	sb.Reset()
+	SeriesCSV(&sb, nil)
+	if !strings.Contains(sb.String(), "no series") {
+		t.Fatalf("nil series CSV = %q", sb.String())
+	}
+}
+
+func TestSeriesMarkdown(t *testing.T) {
+	var sb strings.Builder
+	SeriesMarkdown(&sb, sampleSeries())
+	out := sb.String()
+	for _, want := range []string{"| probe |", "| queue | gauge |", "| done | counter |"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("markdown missing %q:\n%s", want, out)
+		}
+	}
+	// Gauges have no rate; counters do: (6−0)/(120−60) = 0.1.
+	if !strings.Contains(out, "0.1 |") {
+		t.Fatalf("counter rate missing:\n%s", out)
+	}
+	if !strings.Contains(out, "| – |") {
+		t.Fatalf("gauge rate placeholder missing:\n%s", out)
+	}
+}
