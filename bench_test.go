@@ -18,6 +18,7 @@ import (
 
 	"chicsim/internal/core"
 	"chicsim/internal/experiments"
+	"chicsim/internal/faults"
 	"chicsim/internal/netsim"
 	"chicsim/internal/rng"
 	"chicsim/internal/stats"
@@ -399,6 +400,42 @@ func BenchmarkObservability(b *testing.B) {
 				}
 			}
 			b.ReportMetric(float64(points), "samples/run")
+		})
+	}
+}
+
+// BenchmarkFaults measures the cost of the fault subsystem on the
+// default scenario: faults-off must match the uninstrumented seed hot
+// path (no injector is attached and flow tracking stays nil), and
+// faults-on shows the cost of a realistically degraded grid — site
+// crashes, CE failures, and transfer aborts with recovery enabled.
+// Compare the pair across BENCH_*.json entries to keep the "zero cost
+// when disabled" claim measurable.
+func BenchmarkFaults(b *testing.B) {
+	for _, faulted := range []bool{false, true} {
+		faulted := faulted
+		name := "faults-off"
+		if faulted {
+			name = "faults-on"
+		}
+		b.Run(name, func(b *testing.B) {
+			cfg := core.DefaultConfig()
+			if faulted {
+				cfg.Faults.SiteCrash = faults.Spec{MTBF: 7200, MTTR: 600}
+				cfg.Faults.CEFailure = faults.Spec{MTBF: 3600, MTTR: 300}
+				cfg.Faults.TransferAbort = faults.Spec{MTBF: 1800}
+				cfg.Faults.RequeueOnRecovery = true
+				cfg.Faults.RestoreReplicas = true
+			}
+			var injected int
+			for i := 0; i < b.N; i++ {
+				res, err := core.RunConfig(cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				injected = res.Faults.FaultsInjected
+			}
+			b.ReportMetric(float64(injected), "faults/run")
 		})
 	}
 }

@@ -53,6 +53,20 @@ func main() {
 	flag.Float64Var(&cfg.MaxTime, "max-time", cfg.MaxTime, "abort after this virtual time (0 = none)")
 	flag.Float64Var(&cfg.InfoStaleness, "staleness", cfg.InfoStaleness, "GIS snapshot staleness (s, 0 = oracle)")
 	flag.BoolVar(&cfg.RegionalInfo, "regional-info", cfg.RegionalInfo, "schedulers see only in-region replicas plus masters")
+	flag.Float64Var(&cfg.Faults.SiteCrash.MTBF, "site-mtbf", cfg.Faults.SiteCrash.MTBF, "mean time between site crashes (s, 0 = off)")
+	flag.Float64Var(&cfg.Faults.SiteCrash.MTTR, "site-mttr", 600, "mean site repair time (s, with -site-mtbf)")
+	flag.Float64Var(&cfg.Faults.CEFailure.MTBF, "ce-mtbf", cfg.Faults.CEFailure.MTBF, "mean time between compute-element failures (s, 0 = off)")
+	flag.Float64Var(&cfg.Faults.CEFailure.MTTR, "ce-mttr", 300, "mean compute-element repair time (s, with -ce-mtbf)")
+	flag.Float64Var(&cfg.Faults.LinkDegrade.MTBF, "link-mtbf", cfg.Faults.LinkDegrade.MTBF, "mean time between link degradations (s, 0 = off)")
+	flag.Float64Var(&cfg.Faults.LinkDegrade.MTTR, "link-mttr", 600, "mean link degradation repair time (s, with -link-mtbf)")
+	flag.Float64Var(&cfg.Faults.LinkOutage.MTBF, "outage-mtbf", cfg.Faults.LinkOutage.MTBF, "mean time between link outages (s, 0 = off)")
+	flag.Float64Var(&cfg.Faults.LinkOutage.MTTR, "outage-mttr", 300, "mean link outage repair time (s, with -outage-mtbf)")
+	flag.Float64Var(&cfg.Faults.TransferAbort.MTBF, "abort-mtbf", cfg.Faults.TransferAbort.MTBF, "mean time between transfer aborts (s, 0 = off)")
+	flag.Float64Var(&cfg.Faults.ReplicaLoss.MTBF, "loss-mtbf", cfg.Faults.ReplicaLoss.MTBF, "mean time between cached-replica losses (s, 0 = off)")
+	flag.Float64Var(&cfg.Faults.DegradeFactor, "degrade-factor", cfg.Faults.DegradeFactor, "bandwidth multiplier a degraded link runs at (0 = default 0.1)")
+	flag.IntVar(&cfg.Faults.MaxRetries, "fault-retries", cfg.Faults.MaxRetries, "ES resubmissions before abandoning a failed job (0 = default 3, -1 = none)")
+	flag.BoolVar(&cfg.Faults.RequeueOnRecovery, "fault-requeue", cfg.Faults.RequeueOnRecovery, "crashed sites keep queued jobs and requeue them on recovery")
+	flag.BoolVar(&cfg.Faults.RestoreReplicas, "fault-restore", cfg.Faults.RestoreReplicas, "DS re-replicates popular files lost to faults")
 	maxmin := flag.Bool("maxmin", false, "use max-min fair bandwidth sharing instead of equal share")
 	zipf := flag.Float64("zipf", 0, "use Zipf popularity with this alpha instead of geometric")
 	uniformPop := flag.Bool("uniform-pop", false, "use uniform dataset popularity")
@@ -165,9 +179,15 @@ func main() {
 	if *heatmap {
 		cfg.SampleInterval = 60
 	}
-	if obsFlags.SeriesPath != "" {
+	if obsFlags.SeriesPath != "" || obsFlags.StreamPath != "" {
 		cfg.ObsInterval = obsFlags.SeriesInterval
 	}
+	streamSink, closeStream, err := obsFlags.OpenStreamSink()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "chicsim:", err)
+		os.Exit(1)
+	}
+	cfg.ObsSink = streamSink
 
 	var manifest *obs.Manifest
 	if obsFlags.ManifestPath != "" {
@@ -187,6 +207,11 @@ func main() {
 	res, err := core.RunConfig(cfg)
 	if perr := stopProfiling(); perr != nil {
 		fmt.Fprintln(os.Stderr, "chicsim:", perr)
+	}
+	if closeStream != nil {
+		if cerr := closeStream(); cerr != nil && err == nil {
+			err = cerr
+		}
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "chicsim:", err)
@@ -247,5 +272,13 @@ func printResults(r core.Results) {
 	fmt.Printf("fetches:               %d started, cache %d hits / %d misses, %d evictions\n",
 		r.FetchesStarted, r.CacheHits, r.CacheMisses, r.Evictions)
 	fmt.Printf("replications:          %d pushes\n", r.Replications)
+	if r.Faults.FaultsInjected > 0 || r.JobsFailed > 0 {
+		fmt.Printf("faults injected:       %d (site %d, CE %d, link %d+%d, abort %d, loss %d), %d repairs\n",
+			r.Faults.FaultsInjected, r.Faults.SiteCrashes, r.Faults.CEFailures,
+			r.Faults.LinkDegradations, r.Faults.LinkOutages,
+			r.Faults.TransfersAborted, r.Faults.ReplicasLost, r.Faults.Repairs)
+		fmt.Printf("fault recovery:        %d retries, %d jobs abandoned, %d fetches restarted, %d replicas restored\n",
+			r.JobsRetried, r.JobsFailed, r.TransfersRestarted, r.ReplicasRestored)
+	}
 	fmt.Printf("simulation:            %d events, virtual end %.0f s\n", r.SimEvents, r.SimEndTime)
 }

@@ -15,6 +15,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
+	"strings"
 
 	"chicsim/internal/core"
 	"chicsim/internal/experiments"
@@ -23,7 +25,9 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "all", "which figure to regenerate: 3a, 3b, 4, 5, all")
+	fig := flag.String("fig", "all", "which figure to regenerate: 3a, 3b, 4, 5, faults, all")
+	siteMTBFs := flag.String("site-mtbf", "0,14400,7200,3600", "comma-separated site-crash MTBFs for -fig faults (s; 0 = failure-free control)")
+	faultMTTR := flag.Float64("fault-mttr", 600, "mean site repair time for -fig faults (s)")
 	csv := flag.Bool("csv", false, "emit CSV rows instead of tables")
 	md := flag.Bool("md", false, "emit markdown tables (EXPERIMENTS.md format)")
 	quick := flag.Bool("quick", false, "reduced workload (1500 jobs, 1 seed) for a fast check")
@@ -33,6 +37,11 @@ func main() {
 	progressJSONL := flag.String("progress-jsonl", "", "stream per-simulation progress records to this JSONL file")
 	obsFlags := obs.BindFlags(flag.CommandLine)
 	flag.Parse()
+
+	if obsFlags.StreamPath != "" {
+		fmt.Fprintln(os.Stderr, "gridsweep: -obs-stream applies to a single simulation; ignoring (use chicsim -obs-stream)")
+		obsFlags.StreamPath = ""
+	}
 
 	base := core.DefaultConfig()
 	if *list {
@@ -49,12 +58,26 @@ func main() {
 		seedList = append(seedList, uint64(s))
 	}
 
+	var mtbfs []float64
 	var cells []experiments.Cell
 	switch *fig {
 	case "3a", "3b", "4":
 		cells = experiments.PaperCells(10)
 	case "5":
 		cells = experiments.Figure5Cells()
+	case "faults":
+		for _, part := range strings.Split(*siteMTBFs, ",") {
+			v, err := strconv.ParseFloat(strings.TrimSpace(part), 64)
+			if err != nil || v < 0 {
+				fmt.Fprintf(os.Stderr, "gridsweep: bad -site-mtbf value %q\n", part)
+				os.Exit(2)
+			}
+			mtbfs = append(mtbfs, v)
+		}
+		base.Faults.SiteCrash.MTTR = *faultMTTR
+		base.Faults.RequeueOnRecovery = true
+		base.Faults.RestoreReplicas = true
+		cells = experiments.FaultSweepCells(10, mtbfs)
 	case "all":
 		cells = append(experiments.PaperCells(10), experiments.PaperCells(100)...)
 	default:
@@ -146,6 +169,8 @@ func main() {
 		return
 	}
 	switch *fig {
+	case "faults":
+		printFaultTable(results, mtbfs)
 	case "3a":
 		report.Grid(os.Stdout, results, report.ResponseTime, esNames, dsNames, 10)
 	case "3b":
@@ -170,6 +195,57 @@ func main() {
 				experiments.Cell{ES: "JobDataPresent", DS: "DataLeastLoaded", BandwidthMBps: 10})
 		}
 	}
+}
+
+// printFaultTable renders the degraded-grid sweep: one row per scheduler
+// pair, one column per site-crash MTBF, cell value = mean response time
+// over seeds (with the abandoned-job count when any jobs were lost).
+func printFaultTable(results []experiments.CellResult, mtbfs []float64) {
+	byCell := make(map[experiments.Cell]*experiments.CellResult, len(results))
+	var pairs []experiments.Cell
+	seen := make(map[experiments.Cell]bool)
+	for i := range results {
+		byCell[results[i].Cell] = &results[i]
+		key := experiments.Cell{ES: results[i].Cell.ES, DS: results[i].Cell.DS,
+			BandwidthMBps: results[i].Cell.BandwidthMBps}
+		if !seen[key] {
+			seen[key] = true
+			pairs = append(pairs, key)
+		}
+	}
+	fmt.Println("Degraded grid: avg response time (s) vs site-crash MTBF")
+	fmt.Printf("%-34s", "ES+DS")
+	for _, m := range mtbfs {
+		if m == 0 {
+			fmt.Printf("  %12s", "no faults")
+		} else {
+			fmt.Printf("  %10gs", m)
+		}
+	}
+	fmt.Println()
+	for _, p := range pairs {
+		fmt.Printf("%-34s", p.ES+"+"+p.DS)
+		for _, m := range mtbfs {
+			key := p
+			key.SiteMTBF = m
+			cr, ok := byCell[key]
+			if !ok || cr.Err != nil || len(cr.Runs) == 0 {
+				fmt.Printf("  %12s", "-")
+				continue
+			}
+			abandoned := 0
+			for _, r := range cr.Runs {
+				abandoned += r.JobsFailed
+			}
+			if abandoned > 0 {
+				fmt.Printf("  %8.0f(%d!)", cr.AvgResponseSec, abandoned)
+			} else {
+				fmt.Printf("  %12.0f", cr.AvgResponseSec)
+			}
+		}
+		fmt.Println()
+	}
+	fmt.Println("(! = jobs abandoned after exhausting retries, summed over seeds)")
 }
 
 // writeReferenceSeries dumps the probe series of the campaign's reference

@@ -9,7 +9,9 @@ import (
 	"fmt"
 	"io"
 
+	"chicsim/internal/faults"
 	"chicsim/internal/netsim"
+	"chicsim/internal/obs"
 	"chicsim/internal/trace"
 	"chicsim/internal/workload"
 )
@@ -185,6 +187,14 @@ type Config struct {
 	// seconds into Results.Samples (feeds the utilization heatmap).
 	SampleInterval float64
 
+	// Faults configures deterministic fault injection (extension; see
+	// internal/faults and DESIGN.md §10): per-class MTBF/MTTR for site
+	// crashes, CE failures, link degradation/outage, transfer aborts, and
+	// replica loss, plus the retry/requeue/re-replication recovery knobs.
+	// The zero value disables injection entirely and leaves the simulation
+	// byte-identical to a build without the subsystem.
+	Faults faults.Config `json:"faults,omitzero"`
+
 	// ObsInterval, when > 0, attaches the observability probe registry
 	// (internal/obs): per-site gauges (queue length, CPU utilization,
 	// storage fill, replica count) and grid-wide gauges/counters
@@ -194,6 +204,12 @@ type Config struct {
 	// engine event, so the series is deterministic for a given seed; at 0
 	// (the default) no probes exist and the hot path is untouched.
 	ObsInterval float64
+
+	// ObsSink, when non-nil (and ObsInterval > 0), additionally streams
+	// every probe sample to the sink as it is taken — JSONL or CSV rows
+	// on disk while the run is still going — without changing the
+	// in-memory Series the run returns. See obs.NewJSONLSink/NewCSVSink.
+	ObsSink obs.Sink `json:"-"`
 }
 
 // DefaultConfig returns the paper's Table 1 scenario 1 with the documented
@@ -260,6 +276,9 @@ func (c *Config) Validate() error {
 		return fmt.Errorf("core: OutputFraction = %v", c.OutputFraction)
 	case c.ObsInterval < 0:
 		return fmt.Errorf("core: ObsInterval = %v", c.ObsInterval)
+	}
+	if err := c.Faults.Validate(); err != nil {
+		return err
 	}
 	for i, d := range c.Degradations {
 		if d.At < 0 || d.Duration <= 0 || d.Multiplier < 0 {

@@ -5,6 +5,7 @@ import (
 
 	"chicsim/internal/catalog"
 	"chicsim/internal/desim"
+	"chicsim/internal/faults"
 	"chicsim/internal/gis"
 	"chicsim/internal/job"
 	"chicsim/internal/metrics"
@@ -12,6 +13,7 @@ import (
 	"chicsim/internal/obs"
 	"chicsim/internal/rng"
 	"chicsim/internal/scheduler"
+	"chicsim/internal/scheduler/es"
 	"chicsim/internal/site"
 	"chicsim/internal/stats"
 	"chicsim/internal/storage"
@@ -59,6 +61,15 @@ type Results struct {
 	// Config.ObsInterval is set (see report.SeriesCSV). Excluded from
 	// JSON results; render it with the report package instead.
 	Series *obs.Series `json:"-"`
+
+	// Fault-injection outcome (all zero on failure-free runs). Faults
+	// counts what the injector did to the grid; the recovery counters
+	// record what the scheduling layers did about it.
+	Faults             faults.Stats
+	JobsRetried        int // ES resubmissions of failed jobs
+	JobsFailed         int // jobs abandoned after exhausting retries
+	TransfersRestarted int // input fetches re-issued after an abort/crash
+	ReplicasRestored   int // DS re-replications of fault-lost popular files
 }
 
 // Sample is one periodic snapshot of grid state.
@@ -102,8 +113,21 @@ type Simulation struct {
 	dsDeletions    int
 	dispatches     int // ES/batch dispatch hook-point counter
 
-	probes *obs.Registry // nil unless cfg.ObsInterval > 0
-	idleWindows    []map[storage.FileID]int // per site: consecutive access-free DS windows
+	probes      *obs.Registry            // nil unless cfg.ObsInterval > 0
+	idleWindows []map[storage.FileID]int // per site: consecutive access-free DS windows
+
+	// Fault injection (see faults.go in this package). All nil/zero
+	// unless cfg.Faults enables at least one fault class.
+	fcfg               faults.Config // normalized
+	retry              faults.RetryPolicy
+	faultRoot          *rng.Source
+	injector           *faults.Injector
+	liveFlows          map[int]*managedFlow      // in-flight transfers, by flow id
+	lostAt             [][]scheduler.PopularFile // per site: popular replicas lost to faults
+	jobsFailed         int
+	jobsRetried        int
+	transfersRestarted int
+	replicasRestored   int
 
 	rec trace.Recorder
 
@@ -134,7 +158,8 @@ func (m mover) Fetch(f storage.FileID, from, to topology.SiteID, done func()) {
 			File: int(f), Src: int(from), Dst: int(to),
 		})
 	}
-	m.s.net.Transfer(from, to, size, func(*netsim.Flow) {
+	fl := m.s.net.Transfer(from, to, size, func(fl *netsim.Flow) {
+		m.s.untrackFlow(fl)
 		if from != to {
 			m.s.collector.Transfer(metrics.FetchTransfer, size)
 			m.s.rec.Record(trace.Event{
@@ -144,6 +169,7 @@ func (m mover) Fetch(f storage.FileID, from, to topology.SiteID, done func()) {
 		}
 		done()
 	})
+	m.s.trackFlow(fl, fetchFlow, f, from, to)
 }
 
 // view adapts the GIS + network to the scheduler.GridView interface. When
@@ -330,11 +356,28 @@ func New(cfg Config) (*Simulation, error) {
 		}
 	}
 
+	s.fcfg = cfg.Faults.Normalized()
+	s.retry = cfg.Faults.Retry()
+	if s.fcfg.Enabled() {
+		s.faultRoot = root.Derive("faults")
+		s.liveFlows = make(map[int]*managedFlow)
+		s.lostAt = make([][]scheduler.PopularFile, cfg.Sites)
+		// Every ES gains the retry contract: never re-place a job on the
+		// site it just failed on. Fresh jobs pass through untouched, and
+		// Derive leaves the parent stream unperturbed, so a failure-free
+		// workload is byte-identical with or without the wrapper.
+		retrySrc := esRoot.Derive("retry")
+		for u := range s.esFor {
+			s.esFor[u] = es.AvoidFailed{Inner: s.esFor[u], Src: retrySrc}
+		}
+	}
+
 	s.nextJob = make([]int, cfg.Users)
 	s.arrivalSrc = root.Derive("arrivals")
 	if cfg.ObsInterval > 0 {
 		s.probes = obs.NewRegistry()
 		s.registerProbes()
+		s.probes.StreamTo(cfg.ObsSink)
 	}
 	return s, nil
 }
@@ -371,6 +414,49 @@ func (s *Simulation) registerProbes() {
 	})
 	r.Gauge("inflight_transfers", func() float64 { return float64(s.net.ActiveFlows()) })
 	r.Gauge("gis_staleness_s", func() float64 { return s.gis.SnapshotAge() })
+	if s.fcfg.Enabled() {
+		// Fault probes register only on faulted runs, keeping the default
+		// column set (and its regression tests) untouched. The injector is
+		// attached in Run, before the first sample can fire.
+		r.Counter("faults_injected", func() float64 {
+			if s.injector == nil {
+				return 0
+			}
+			return float64(s.injector.Stats().FaultsInjected)
+		})
+		r.Counter("faults_repaired", func() float64 {
+			if s.injector == nil {
+				return 0
+			}
+			return float64(s.injector.Stats().Repairs)
+		})
+		r.Counter("jobs_retried", func() float64 { return float64(s.jobsRetried) })
+		r.Counter("jobs_failed", func() float64 { return float64(s.jobsFailed) })
+		r.Counter("transfers_restarted", func() float64 { return float64(s.transfersRestarted) })
+		r.Counter("replicas_lost", func() float64 {
+			if s.injector == nil {
+				return 0
+			}
+			return float64(s.injector.Stats().ReplicasLost)
+		})
+		r.Counter("replicas_restored", func() float64 { return float64(s.replicasRestored) })
+		r.Gauge("sites_down", func() float64 {
+			n := 0
+			for _, st := range s.sites {
+				if st.Down() {
+					n++
+				}
+			}
+			return float64(n)
+		})
+		r.Gauge("ces_failed", func() float64 {
+			n := 0
+			for _, st := range s.sites {
+				n += st.CEs() - st.AvailableCEs()
+			}
+			return float64(n)
+		})
+	}
 	for i, st := range s.sites {
 		st := st
 		r.Gauge(fmt.Sprintf("s%02d.queue_len", i), func() float64 { return float64(st.QueueLen()) })
@@ -406,6 +492,11 @@ func (s *Simulation) Run() (Results, error) {
 		return Results{}, fmt.Errorf("core: Simulation is single-use; construct a new one")
 	}
 	s.ran = true
+
+	if s.fcfg.Enabled() {
+		s.injector = faults.Attach(s.eng, s.fcfg, s.faultRoot, faultOps{s},
+			func() bool { return !s.finished })
+	}
 
 	if s.cfg.ArrivalRate > 0 {
 		// Open model: every user's submissions form a Poisson process,
@@ -497,6 +588,14 @@ func (s *Simulation) Run() (Results, error) {
 		DSDeletions:    s.dsDeletions,
 		SimEvents:      s.eng.Fired(),
 		SimEndTime:     s.eng.Now(),
+
+		JobsRetried:        s.jobsRetried,
+		JobsFailed:         s.jobsFailed,
+		TransfersRestarted: s.transfersRestarted,
+		ReplicasRestored:   s.replicasRestored,
+	}
+	if s.injector != nil {
+		r.Faults = s.injector.Stats()
 	}
 	for _, st := range s.sites {
 		h, m := st.Store().HitRate()
@@ -541,7 +640,14 @@ func (s *Simulation) Run() (Results, error) {
 		r.AccessLinkUtil /= float64(nAcc)
 	}
 	if !s.finished && s.cfg.MaxTime <= 0 {
-		return r, fmt.Errorf("core: engine drained with %d/%d jobs done (deadlock?)", s.jobsDone, s.totalJobs)
+		return r, fmt.Errorf("core: engine drained with %d/%d jobs accounted for (deadlock?)",
+			s.jobsDone+s.jobsFailed, s.totalJobs)
+	}
+	if s.probes != nil {
+		if err := s.probes.SinkErr(); err != nil {
+			// The simulation itself is fine; the requested stream is not.
+			return r, err
+		}
 	}
 	return r, nil
 }
@@ -570,6 +676,12 @@ func (s *Simulation) submitNext(u job.UserID) {
 	if target < 0 || int(target) >= len(s.sites) {
 		panic(fmt.Sprintf("core: ES %s placed job %d at invalid site %d", s.cfg.ES, j.ID, target))
 	}
+	if s.sites[target].Down() {
+		// The ES placed onto a dead site (its information is liveness-
+		// blind, like the GIS): a placement failure that burns a retry.
+		s.failJob(j, target)
+		return
+	}
 	s.dispatches++
 	s.rec.Record(trace.Event{T: s.eng.Now(), Kind: trace.JobDispatched, Job: int(j.ID), Site: int(target)})
 	s.sites[target].Enqueue(j)
@@ -588,22 +700,37 @@ func (s *Simulation) jobDone(j *job.Job) {
 	s.rec.Record(trace.Event{T: j.EndTime, Kind: trace.JobCompleted, Job: int(j.ID), Site: int(j.Site), User: int(j.User)})
 	s.shipOutput(j)
 	s.jobsDone++
-	if s.jobsDone == s.totalJobs {
-		s.finished = true
-		for _, st := range s.sites {
-			s.busyIntegral += st.BusyIntegral(s.eng.Now())
-		}
+	if s.workloadSettled() {
 		return
 	}
+	s.driveUser(j.User)
+}
+
+// workloadSettled marks the run finished once every job is accounted for
+// — completed or (on faulted runs) abandoned — and settles the busy-time
+// integrals at that instant.
+func (s *Simulation) workloadSettled() bool {
+	if s.jobsDone+s.jobsFailed < s.totalJobs {
+		return false
+	}
+	s.finished = true
+	for _, st := range s.sites {
+		s.busyIntegral += st.BusyIntegral(s.eng.Now())
+	}
+	return true
+}
+
+// driveUser advances the closed-loop workload for one user after their
+// current job reached a terminal state (done or abandoned).
+func (s *Simulation) driveUser(u job.UserID) {
 	if s.cfg.ArrivalRate > 0 {
 		return // open model: submissions are driven by the arrival process
 	}
 	if s.cfg.ThinkTimeMean > 0 {
-		user := j.User
-		s.eng.Schedule(s.arrivalSrc.Exp(s.cfg.ThinkTimeMean), func() { s.submitNext(user) })
+		s.eng.Schedule(s.arrivalSrc.Exp(s.cfg.ThinkTimeMean), func() { s.submitNext(u) })
 		return
 	}
-	s.submitNext(j.User)
+	s.submitNext(u)
 }
 
 // shipOutput moves a completed job's output back to the submitting site
@@ -627,10 +754,12 @@ func (s *Simulation) shipOutput(j *job.Job) {
 	}
 	jobID, src, dst := int(j.ID), int(j.Site), int(j.Origin)
 	s.rec.Record(trace.Event{T: s.eng.Now(), Kind: trace.OutputStart, Job: jobID, Src: src, Dst: dst})
-	s.net.Transfer(j.Site, j.Origin, bytes, func(*netsim.Flow) {
+	fl := s.net.Transfer(j.Site, j.Origin, bytes, func(fl *netsim.Flow) {
+		s.untrackFlow(fl)
 		s.collector.Transfer(metrics.OutputTransfer, bytes)
 		s.rec.Record(trace.Event{T: s.eng.Now(), Kind: trace.OutputEnd, Job: jobID, Src: src, Dst: dst, Bytes: bytes})
 	})
+	s.trackFlow(fl, outputFlow, -1, j.Site, j.Origin)
 }
 
 // scheduleArrival drives the open-model Poisson submission process for one
@@ -664,6 +793,10 @@ func (s *Simulation) flushBatch() {
 			if t < 0 || int(t) >= len(s.sites) {
 				panic(fmt.Sprintf("core: batch scheduler placed job %d at invalid site %d", j.ID, t))
 			}
+			if s.sites[t].Down() {
+				s.failJob(j, t)
+				continue
+			}
 			s.dispatches++
 			s.rec.Record(trace.Event{T: s.eng.Now(), Kind: trace.JobDispatched, Job: int(j.ID), Site: int(t)})
 			s.sites[t].Enqueue(j)
@@ -694,6 +827,12 @@ func (s *Simulation) dsWake(i int) {
 		return
 	}
 	st := s.sites[i]
+	if st.Down() {
+		// The DS process is down with its site; it resumes (with an empty
+		// popularity window) at the first wake-up after recovery.
+		s.eng.Schedule(s.cfg.DSInterval, func() { s.dsWake(i) })
+		return
+	}
 	all := st.DrainPopularity()
 	popular := all[:0]
 	for _, p := range all {
@@ -712,6 +851,9 @@ func (s *Simulation) dsWake(i int) {
 	}
 	if s.cfg.DSDeleteAfter > 0 {
 		s.dsDelete(i, all)
+	}
+	if len(s.lostAt) > 0 && len(s.lostAt[i]) > 0 {
+		s.restoreReplicas(i)
 	}
 	s.eng.Schedule(s.cfg.DSInterval, func() { s.dsWake(i) })
 }
@@ -776,7 +918,8 @@ func (s *Simulation) pushReplica(from topology.SiteID, rep scheduler.Replication
 		T: s.eng.Now(), Kind: trace.ReplPush,
 		File: int(rep.File), Src: int(from), Dst: int(rep.Target),
 	})
-	s.net.Transfer(from, rep.Target, size, func(*netsim.Flow) {
+	fl := s.net.Transfer(from, rep.Target, size, func(fl *netsim.Flow) {
+		s.untrackFlow(fl)
 		delete(s.pushesInFlight, key)
 		if err := s.sites[from].Store().Unpin(rep.File); err == nil {
 			s.sites[from].Store().Touch(rep.File)
@@ -788,6 +931,7 @@ func (s *Simulation) pushReplica(from topology.SiteID, rep scheduler.Replication
 		})
 		s.sites[rep.Target].ReceiveReplica(rep.File, size)
 	})
+	s.trackFlow(fl, pushFlow, rep.File, from, rep.Target)
 }
 
 // Engine exposes the underlying engine (e.g. for embedding the simulation

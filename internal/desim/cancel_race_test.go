@@ -1,0 +1,89 @@
+package desim
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestSameTimestampCancelBeforeFire pins the cancel+fire semantics the
+// fault injector depends on: an event that cancels a *later-scheduled*
+// event at the identical virtual time always wins — the target never
+// fires, on every run.
+func TestSameTimestampCancelBeforeFire(t *testing.T) {
+	run := func() []string {
+		e := New()
+		var order []string
+		var victim *Event
+		e.At(5, func() {
+			order = append(order, "canceller")
+			e.Cancel(victim)
+		})
+		victim = e.At(5, func() { order = append(order, "victim") })
+		e.At(5, func() { order = append(order, "bystander") })
+		e.Run()
+		if !victim.Canceled() {
+			t.Fatal("victim not marked canceled")
+		}
+		if victim.Fired() {
+			t.Fatal("canceled victim reports Fired")
+		}
+		return order
+	}
+	want := []string{"canceller", "bystander"}
+	first := run()
+	if !reflect.DeepEqual(first, want) {
+		t.Fatalf("firing order = %v, want %v", first, want)
+	}
+	for i := 0; i < 10; i++ {
+		if got := run(); !reflect.DeepEqual(got, first) {
+			t.Fatalf("run %d order = %v, differs from first %v", i, got, first)
+		}
+	}
+}
+
+// TestSameTimestampCancelAfterFire is the mirror image: cancelling an
+// *earlier-scheduled* event from a same-timestamp event arrives too late
+// — the target has already executed, and the late Cancel must not
+// retroactively mark it canceled.
+func TestSameTimestampCancelAfterFire(t *testing.T) {
+	e := New()
+	var order []string
+	target := e.At(3, func() { order = append(order, "target") })
+	e.At(3, func() {
+		order = append(order, "late-canceller")
+		e.Cancel(target) // no-op: target fired in the same instant, earlier seq
+	})
+	e.Run()
+	want := []string{"target", "late-canceller"}
+	if !reflect.DeepEqual(order, want) {
+		t.Fatalf("firing order = %v, want %v", order, want)
+	}
+	if target.Canceled() {
+		t.Fatal("late Cancel retroactively marked a fired event canceled")
+	}
+	if !target.Fired() {
+		t.Fatal("fired event does not report Fired")
+	}
+}
+
+// TestCancelRescheduleSameInstant exercises the cancel-then-reschedule
+// pattern netsim's reflow uses, compressed into one virtual instant: the
+// replacement event must fire exactly once and in deterministic order.
+func TestCancelRescheduleSameInstant(t *testing.T) {
+	e := New()
+	fires := 0
+	var old *Event
+	old = e.At(2, func() { t.Fatal("stale event fired") })
+	e.At(2, func() {
+		// Earlier seq than old? No: old has seq 0, this has seq 1, so old
+		// would fire first — cancel it from a time-0 event instead.
+	})
+	e.At(0, func() {
+		e.Cancel(old)
+		e.At(2, func() { fires++ })
+	})
+	e.Run()
+	if fires != 1 {
+		t.Fatalf("replacement fired %d times, want 1", fires)
+	}
+}

@@ -23,14 +23,20 @@ type Event struct {
 	seq      uint64
 	index    int // heap index; -1 once popped or cancelled
 	canceled bool
+	fired    bool
 	fn       func()
 }
 
 // At returns the virtual time the event is scheduled to fire.
 func (e *Event) At() Time { return e.at }
 
-// Canceled reports whether the event has been cancelled.
+// Canceled reports whether the event was cancelled before it fired. An
+// event that already executed stays Canceled() == false even if Cancel is
+// called on it afterwards.
 func (e *Event) Canceled() bool { return e.canceled }
+
+// Fired reports whether the event's callback has executed.
+func (e *Event) Fired() bool { return e.fired }
 
 // Engine is a discrete-event simulation engine. The zero value is ready to
 // use. Engine is not safe for concurrent use: a simulation is a single
@@ -84,12 +90,21 @@ func (e *Engine) At(t Time, fn func()) *Event {
 }
 
 // Cancel prevents a scheduled event from firing. Cancelling an event that
-// already fired or was already cancelled is a harmless no-op.
+// already fired or was already cancelled is a harmless no-op; in
+// particular, cancelling a fired event does not retroactively mark it
+// Canceled. Because events at equal time execute in scheduling (seq)
+// order, whether a cancel issued from event A reaches a same-timestamp
+// event B before B fires is fully determined by their seq order — there
+// is no race, and the outcome is identical on every run.
 func (e *Engine) Cancel(ev *Event) {
-	if ev == nil || ev.canceled || ev.index < 0 {
-		if ev != nil {
-			ev.canceled = true
-		}
+	if ev == nil || ev.canceled || ev.fired {
+		return
+	}
+	if ev.index < 0 {
+		// Scheduled but already popped would imply fired; a negative index
+		// on an unfired, uncancelled event only occurs for events never in
+		// the heap, which At never produces. Mark defensively.
+		ev.canceled = true
 		return
 	}
 	ev.canceled = true
@@ -107,6 +122,7 @@ func (e *Engine) Step() bool {
 		}
 		e.now = ev.at
 		e.fired++
+		ev.fired = true
 		ev.fn()
 		return true
 	}

@@ -21,13 +21,19 @@ import (
 )
 
 // Cell identifies one (ES, DS, bandwidth) combination in the campaign.
+// SiteMTBF, when > 0, additionally subjects the cell to site-crash fault
+// injection at that mean time between failures (degraded-grid sweeps).
 type Cell struct {
 	ES            string
 	DS            string
 	BandwidthMBps float64
+	SiteMTBF      float64
 }
 
 func (c Cell) String() string {
+	if c.SiteMTBF > 0 {
+		return fmt.Sprintf("%s+%s@%gMB/s/mtbf=%gs", c.ES, c.DS, c.BandwidthMBps, c.SiteMTBF)
+	}
 	return fmt.Sprintf("%s+%s@%gMB/s", c.ES, c.DS, c.BandwidthMBps)
 }
 
@@ -126,6 +132,24 @@ func Figure5Cells() []Cell {
 	return cells
 }
 
+// FaultSweepCells returns the degraded-grid sweep: the paper's winning
+// pair (JobDataPresent+DataLeastLoaded) against the random baseline
+// (JobRandom+DataRandom), each at every site-crash MTBF in mtbfs. An
+// MTBF of 0 is the failure-free control column.
+func FaultSweepCells(bandwidthMBps float64, mtbfs []float64) []Cell {
+	pairs := []struct{ es, ds string }{
+		{"JobDataPresent", "DataLeastLoaded"},
+		{"JobRandom", "DataRandom"},
+	}
+	var cells []Cell
+	for _, p := range pairs {
+		for _, mtbf := range mtbfs {
+			cells = append(cells, Cell{ES: p.es, DS: p.ds, BandwidthMBps: bandwidthMBps, SiteMTBF: mtbf})
+		}
+	}
+	return cells
+}
+
 // FullPaperCampaign returns all 72 experiments: 12 pairs × 2 bandwidths
 // (cells) × 3 seeds (replications).
 func FullPaperCampaign(base core.Config) Campaign {
@@ -168,6 +192,12 @@ func Run(c Campaign) []CellResult {
 				cfg.DS = c.Cells[t.cell].DS
 				cfg.BandwidthMBps = c.Cells[t.cell].BandwidthMBps
 				cfg.Seed = t.seed
+				if mtbf := c.Cells[t.cell].SiteMTBF; mtbf > 0 {
+					cfg.Faults.SiteCrash.MTBF = mtbf
+					if cfg.Faults.SiteCrash.MTTR == 0 {
+						cfg.Faults.SiteCrash.MTTR = 600
+					}
+				}
 				if c.ObsInterval > 0 {
 					cfg.ObsInterval = c.ObsInterval
 				}

@@ -1,0 +1,37 @@
+package faults
+
+// RetryPolicy is the ES-level resubmission contract for failed jobs:
+// capped exponential backoff, at most MaxRetries resubmissions, never to
+// the site the job just failed on (enforced by es.AvoidFailed).
+type RetryPolicy struct {
+	// MaxRetries is the number of resubmissions allowed after the first
+	// failure. Negative means abandon immediately.
+	MaxRetries int
+	// Backoff is the delay before the first resubmission; each further
+	// retry doubles it, capped at BackoffMax.
+	Backoff    float64
+	BackoffMax float64
+}
+
+// Exhausted reports whether a job that has failed `failures` times is
+// out of retries and must be abandoned.
+func (p RetryPolicy) Exhausted(failures int) bool { return failures > p.MaxRetries }
+
+// Delay returns the backoff before the attempt-th resubmission
+// (attempt counts from 1): Backoff·2^(attempt-1), capped at BackoffMax.
+func (p RetryPolicy) Delay(attempt int) float64 {
+	if attempt < 1 {
+		attempt = 1
+	}
+	d := p.Backoff
+	for i := 1; i < attempt; i++ {
+		d *= 2
+		if d >= p.BackoffMax {
+			return p.BackoffMax
+		}
+	}
+	if d > p.BackoffMax {
+		d = p.BackoffMax
+	}
+	return d
+}

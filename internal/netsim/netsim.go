@@ -126,6 +126,12 @@ func (n *Network) SetLatencyPerHop(seconds float64) {
 	n.latencyPerHop = seconds
 }
 
+// OverrideActive reports whether a dynamic bandwidth override (degradation,
+// outage, or scheduled Degradation window) is currently in force on the
+// link. The fault injector uses this to avoid stacking faults on a link
+// that is already impaired.
+func (n *Network) OverrideActive(l topology.LinkID) bool { return n.bwOverride[l] >= 0 }
+
 // linkBandwidth returns the effective bandwidth of a link, honoring any
 // dynamic override.
 func (n *Network) linkBandwidth(l topology.LinkID) float64 {

@@ -81,12 +81,15 @@ func (s *Series) Column(name string) []float64 {
 // bound to a single simulation and, like the engine it samples on, is not
 // safe for concurrent use.
 type Registry struct {
-	names []string
-	kinds []Kind
-	fns   []func() float64
+	names  []string
+	kinds  []Kind
+	fns    []func() float64
 	byName map[string]bool
 
 	points []Point
+
+	sink    Sink // optional streaming copy of every sample (see StreamTo)
+	sinkErr error
 }
 
 // NewRegistry returns an empty registry.
@@ -124,7 +127,14 @@ func (r *Registry) Sample(t float64) {
 	for i, fn := range r.fns {
 		vals[i] = fn()
 	}
-	r.points = append(r.points, Point{T: t, Values: vals})
+	p := Point{T: t, Values: vals}
+	r.points = append(r.points, p)
+	if r.sink != nil {
+		if err := r.sink.Point(p); err != nil {
+			r.sink = nil
+			r.sinkErr = fmt.Errorf("obs: sink point: %w", err)
+		}
+	}
 }
 
 // Attach schedules sampling on eng every interval seconds of virtual

@@ -16,6 +16,7 @@ type Flags struct {
 	MemProfile     string
 	SeriesPath     string  // -obs: CSV destination for the probe series
 	SeriesInterval float64 // -obs-interval: virtual seconds between samples
+	StreamPath     string  // -obs-stream: incremental JSONL/CSV sample stream
 	ManifestPath   string  // -manifest: JSON run-manifest destination
 }
 
@@ -27,6 +28,7 @@ func BindFlags(fs *flag.FlagSet) *Flags {
 	fs.StringVar(&f.MemProfile, "memprofile", "", "write a pprof heap profile to this file on exit")
 	fs.StringVar(&f.SeriesPath, "obs", "", "sample observability probes and write the time series to this CSV file")
 	fs.Float64Var(&f.SeriesInterval, "obs-interval", 60, "virtual-time probe sampling interval in seconds (with -obs)")
+	fs.StringVar(&f.StreamPath, "obs-stream", "", "stream probe samples to this file as they are taken (.csv extension selects CSV, anything else JSON Lines)")
 	fs.StringVar(&f.ManifestPath, "manifest", "", "write a run manifest (config hash, seeds, git describe, timings) to this JSON file")
 	return f
 }

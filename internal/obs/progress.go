@@ -92,15 +92,15 @@ func (p *Progress) RunDone(run string) {
 	}
 	if p.jsonl != nil {
 		rec := struct {
-			Label     string  `json:"label"`
-			Run       string  `json:"run"`
-			Done      int     `json:"done"`
-			Total     int     `json:"total"`
-			Running   int     `json:"running"`
-			Workers   int     `json:"workers"`
-			ElapsedS  float64 `json:"elapsed_s"`
-			SimsPerS  float64 `json:"sims_per_s"`
-			EtaS      float64 `json:"eta_s"`
+			Label    string  `json:"label"`
+			Run      string  `json:"run"`
+			Done     int     `json:"done"`
+			Total    int     `json:"total"`
+			Running  int     `json:"running"`
+			Workers  int     `json:"workers"`
+			ElapsedS float64 `json:"elapsed_s"`
+			SimsPerS float64 `json:"sims_per_s"`
+			EtaS     float64 `json:"eta_s"`
 		}{p.label, run, p.done, p.total, p.running, p.workers, elapsed, rate, eta}
 		if b, err := json.Marshal(rec); err == nil {
 			fmt.Fprintf(p.jsonl, "%s\n", b)

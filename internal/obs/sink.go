@@ -1,0 +1,137 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Sink receives probe samples incrementally as the simulation takes
+// them, instead of (not in place of) the in-memory Series: attaching a
+// sink never changes what a run returns, only where copies of the rows
+// go while it is still running. Long sweeps can tail the output without
+// waiting for the run to finish, and a crashed run leaves the samples
+// taken so far on disk.
+//
+// Sinks are called from the simulation goroutine; implementations need
+// no locking but must not block indefinitely. Errors are sticky: after
+// the first failure the registry stops calling the sink and reports the
+// error via SinkErr.
+type Sink interface {
+	// Begin is called once, before any points, with the probe columns in
+	// registration order.
+	Begin(names []string, kinds []Kind) error
+	// Point is called once per sampling tick.
+	Point(p Point) error
+}
+
+// jsonlSink streams one JSON object per line: a header object with the
+// column metadata, then {"t": ..., "values": [...]} per tick.
+type jsonlSink struct {
+	enc *json.Encoder
+}
+
+// NewJSONLSink returns a Sink writing JSON Lines to w. The first line
+// holds the column names and kinds; each subsequent line is one sample.
+func NewJSONLSink(w io.Writer) Sink {
+	return &jsonlSink{enc: json.NewEncoder(w)}
+}
+
+func (s *jsonlSink) Begin(names []string, kinds []Kind) error {
+	ks := make([]string, len(kinds))
+	for i, k := range kinds {
+		ks[i] = k.String()
+	}
+	return s.enc.Encode(struct {
+		Names []string `json:"names"`
+		Kinds []string `json:"kinds"`
+	}{names, ks})
+}
+
+func (s *jsonlSink) Point(p Point) error {
+	return s.enc.Encode(struct {
+		T      float64   `json:"t"`
+		Values []float64 `json:"values"`
+	}{p.T, p.Values})
+}
+
+// csvSink streams a header row ("t" plus probe names) and one comma-
+// separated row per tick, matching report.SeriesCSV's layout.
+type csvSink struct {
+	w   io.Writer
+	buf []byte
+}
+
+// NewCSVSink returns a Sink writing CSV rows to w.
+func NewCSVSink(w io.Writer) Sink {
+	return &csvSink{w: w}
+}
+
+func (s *csvSink) Begin(names []string, kinds []Kind) error {
+	s.buf = append(s.buf[:0], 't')
+	for _, n := range names {
+		s.buf = append(s.buf, ',')
+		s.buf = append(s.buf, n...)
+	}
+	s.buf = append(s.buf, '\n')
+	_, err := s.w.Write(s.buf)
+	return err
+}
+
+func (s *csvSink) Point(p Point) error {
+	s.buf = strconv.AppendFloat(s.buf[:0], p.T, 'g', -1, 64)
+	for _, v := range p.Values {
+		s.buf = append(s.buf, ',')
+		s.buf = strconv.AppendFloat(s.buf, v, 'g', -1, 64)
+	}
+	s.buf = append(s.buf, '\n')
+	_, err := s.w.Write(s.buf)
+	return err
+}
+
+// OpenStreamSink creates the -obs-stream file and returns the matching
+// sink (CSV for a .csv extension, JSON Lines otherwise) plus a close
+// function. Returns (nil, nil, nil) when the flag is unset.
+func (f *Flags) OpenStreamSink() (Sink, func() error, error) {
+	if f.StreamPath == "" {
+		return nil, nil, nil
+	}
+	file, err := os.Create(f.StreamPath)
+	if err != nil {
+		return nil, nil, fmt.Errorf("obs: stream sink: %w", err)
+	}
+	var sink Sink
+	if strings.HasSuffix(f.StreamPath, ".csv") {
+		sink = NewCSVSink(file)
+	} else {
+		sink = NewJSONLSink(file)
+	}
+	return sink, file.Close, nil
+}
+
+// StreamTo attaches a sink: the header goes out immediately and every
+// subsequent Sample also emits one sink row. Call before sampling
+// starts; attaching mid-run would hand the sink a headerless tail.
+// A nil sink is a no-op, so call sites can pass configuration through
+// unconditionally.
+func (r *Registry) StreamTo(sink Sink) {
+	if sink == nil {
+		return
+	}
+	if len(r.points) > 0 {
+		panic("obs: StreamTo after sampling started")
+	}
+	r.sink = sink
+	if err := sink.Begin(r.names, r.kinds); err != nil {
+		r.sink = nil
+		r.sinkErr = fmt.Errorf("obs: sink header: %w", err)
+	}
+}
+
+// SinkErr returns the first error the streaming sink hit, or nil. After
+// an error the sink receives nothing further; the in-memory series is
+// unaffected.
+func (r *Registry) SinkErr() error { return r.sinkErr }

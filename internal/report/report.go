@@ -130,15 +130,15 @@ func MarkdownGrid(w io.Writer, results []experiments.CellResult, m Metric, esNam
 
 // CSV writes every cell as one comma-separated row, suitable for plotting.
 func CSV(w io.Writer, results []experiments.CellResult) {
-	fmt.Fprintln(w, "es,ds,bandwidth_mbps,seeds,avg_response_s,std_response_s,avg_data_mb_per_job,idle_pct")
+	fmt.Fprintln(w, "es,ds,bandwidth_mbps,site_mtbf_s,seeds,avg_response_s,std_response_s,avg_data_mb_per_job,idle_pct")
 	for i := range results {
 		cr := &results[i]
 		if cr.Err != nil {
-			fmt.Fprintf(w, "%s,%s,%g,0,error,%q,,\n", cr.Cell.ES, cr.Cell.DS, cr.Cell.BandwidthMBps, cr.Err.Error())
+			fmt.Fprintf(w, "%s,%s,%g,%g,0,error,%q,,\n", cr.Cell.ES, cr.Cell.DS, cr.Cell.BandwidthMBps, cr.Cell.SiteMTBF, cr.Err.Error())
 			continue
 		}
-		fmt.Fprintf(w, "%s,%s,%g,%d,%.2f,%.2f,%.2f,%.2f\n",
-			cr.Cell.ES, cr.Cell.DS, cr.Cell.BandwidthMBps, len(cr.Runs),
+		fmt.Fprintf(w, "%s,%s,%g,%g,%d,%.2f,%.2f,%.2f,%.2f\n",
+			cr.Cell.ES, cr.Cell.DS, cr.Cell.BandwidthMBps, cr.Cell.SiteMTBF, len(cr.Runs),
 			cr.AvgResponseSec, cr.StdResponseSec, cr.AvgDataPerJobMB, 100*cr.AvgIdleFrac)
 	}
 }

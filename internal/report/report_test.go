@@ -120,7 +120,7 @@ func TestCSV(t *testing.T) {
 	if !strings.HasPrefix(lines[0], "es,ds,bandwidth_mbps") {
 		t.Fatalf("header = %q", lines[0])
 	}
-	if !strings.Contains(lines[1], "JobRandom,DataDoNothing,10,1,100.00") {
+	if !strings.Contains(lines[1], "JobRandom,DataDoNothing,10,0,1,100.00") {
 		t.Fatalf("row = %q", lines[1])
 	}
 }

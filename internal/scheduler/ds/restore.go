@@ -1,0 +1,31 @@
+package ds
+
+import (
+	"chicsim/internal/scheduler"
+	"chicsim/internal/storage"
+	"chicsim/internal/topology"
+)
+
+// Restore decides which replicas lost to faults a site's DS should
+// proactively re-replicate at its next wake-up: files whose access count
+// in the window they were lost had reached the popularity threshold,
+// that have not already found their way back (a job-driven fetch may
+// beat the DS to it), and that still have a surviving copy somewhere to
+// pull from. Input order is preserved; the core resolves the pull source
+// against the authoritative catalog.
+func Restore(g scheduler.GridView, self topology.SiteID, lost []scheduler.PopularFile, threshold int) []storage.FileID {
+	var out []storage.FileID
+	for _, p := range lost {
+		if p.Count < threshold {
+			continue
+		}
+		if g.HasReplica(p.File, self) {
+			continue
+		}
+		if len(g.Replicas(p.File)) == 0 {
+			continue
+		}
+		out = append(out, p.File)
+	}
+	return out
+}

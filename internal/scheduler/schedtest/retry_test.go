@@ -1,0 +1,122 @@
+package schedtest_test
+
+import (
+	"fmt"
+	"testing"
+
+	"chicsim/internal/core"
+	"chicsim/internal/faults"
+	"chicsim/internal/job"
+	"chicsim/internal/rng"
+	"chicsim/internal/scheduler/es"
+	"chicsim/internal/scheduler/schedtest"
+	"chicsim/internal/storage"
+	"chicsim/internal/topology"
+)
+
+// Every ES policy, wrapped in the fault-recovery contract (es.AvoidFailed
+// + faults.RetryPolicy), must resubmit a failed job at most MaxRetries
+// times and never to the site the job just failed on — regardless of how
+// strongly the inner policy gravitates back (JobLocal always re-picks the
+// origin; data-affinity policies chase the inputs' replicas).
+func TestESRetryContract(t *testing.T) {
+	const maxRetries = 4
+	policy := faults.RetryPolicy{MaxRetries: maxRetries, Backoff: 30, BackoffMax: 600}
+
+	for _, name := range core.ExternalNames() {
+		t.Run(name, func(t *testing.T) {
+			src := rng.New(1).Derive("es")
+			inner, err := core.NewExternal(name, src, 300, 3)
+			if err != nil {
+				t.Fatal(err)
+			}
+			wrapped := es.AvoidFailed{Inner: inner, Src: rng.New(1).Derive("retry")}
+
+			g := schedtest.NewHierView(6, 3)
+			// One input, replicated only at the job's origin, so affinity
+			// policies have a strong pull back to the failed site.
+			g.Reps[storage.FileID(1)] = []topology.SiteID{0}
+			g.Sizes[storage.FileID(1)] = 1e9
+
+			j := job.New(1, 0, 0, []storage.FileID{1}, 300)
+			j.Advance(job.Submitted, 0)
+
+			resubmissions := 0
+			for {
+				target := wrapped.Place(g, j)
+				if target < 0 || int(target) >= g.NumSites() {
+					t.Fatalf("placed at invalid site %d", target)
+				}
+				if j.LastFailedSite >= 0 && target == j.LastFailedSite {
+					t.Fatalf("resubmission %d landed on the site it just failed on (%d)",
+						resubmissions, target)
+				}
+				// Every placement fails: the target site crashes.
+				j.Advance(job.Queued, 0)
+				j.Site = target
+				j.Fail(target)
+				if policy.Exhausted(j.Retries) {
+					break
+				}
+				resubmissions++
+			}
+			// First placement + up to MaxRetries resubmissions, then abandon.
+			if resubmissions != maxRetries {
+				t.Errorf("resubmissions = %d, want exactly MaxRetries = %d", resubmissions, maxRetries)
+			}
+		})
+	}
+}
+
+// AvoidFailed must leave fresh jobs (no recorded failure) entirely to the
+// inner policy: same placements, same RNG consumption.
+func TestAvoidFailedTransparentForFreshJobs(t *testing.T) {
+	for _, name := range core.ExternalNames() {
+		t.Run(name, func(t *testing.T) {
+			place := func(wrap bool) []topology.SiteID {
+				src := rng.New(9).Derive("es")
+				inner, err := core.NewExternal(name, src, 300, 3)
+				if err != nil {
+					t.Fatal(err)
+				}
+				var sched = inner
+				if wrap {
+					sched = es.AvoidFailed{Inner: inner, Src: rng.New(9).Derive("retry")}
+				}
+				g := schedtest.NewHierView(6, 3)
+				g.Reps[storage.FileID(1)] = []topology.SiteID{2}
+				g.Sizes[storage.FileID(1)] = 1e9
+				var got []topology.SiteID
+				for i := 0; i < 20; i++ {
+					j := job.New(job.ID(i), 0, topology.SiteID(i%g.NumSites()), []storage.FileID{1}, 300)
+					j.Advance(job.Submitted, 0)
+					got = append(got, sched.Place(g, j))
+				}
+				return got
+			}
+			bare, wrapped := place(false), place(true)
+			if fmt.Sprint(bare) != fmt.Sprint(wrapped) {
+				t.Errorf("wrapping changed fresh-job placements:\nbare    %v\nwrapped %v", bare, wrapped)
+			}
+		})
+	}
+}
+
+// On a single-site grid there is nowhere else to go: AvoidFailed must
+// hand back the inner policy's pick rather than loop or panic.
+func TestAvoidFailedSingleSite(t *testing.T) {
+	src := rng.New(3).Derive("es")
+	inner, err := core.NewExternal("JobLocal", src, 300, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wrapped := es.AvoidFailed{Inner: inner, Src: rng.New(3).Derive("retry")}
+	g := schedtest.NewView(1)
+	j := job.New(1, 0, 0, nil, 300)
+	j.Advance(job.Submitted, 0)
+	j.Advance(job.Queued, 0)
+	j.Fail(0)
+	if target := wrapped.Place(g, j); target != 0 {
+		t.Fatalf("single-site placement = %d", target)
+	}
+}

@@ -1,0 +1,168 @@
+package site
+
+import (
+	"fmt"
+	"sort"
+
+	"chicsim/internal/job"
+	"chicsim/internal/storage"
+	"chicsim/internal/topology"
+)
+
+// This file holds the site's fault surface: whole-site crash/recovery,
+// per-CE failure, and fetch restart after an aborted transfer. All of it
+// is driven by the core simulation on behalf of internal/faults; the
+// methods only mutate local state deterministically and hand affected
+// jobs back to the caller, which owns retry policy.
+
+// Down reports whether the site is crashed. A down site schedules
+// nothing and accepts no work; its master copies remain reachable (they
+// live on the mass-storage system, not the compute front-end).
+func (s *Site) Down() bool { return s.down }
+
+// AvailableCEs returns the compute elements currently serviceable:
+// nominal CEs minus those taken out by CE failures.
+func (s *Site) AvailableCEs() int { return s.ces - s.failedCEs }
+
+// PopularityOf returns the access count recorded for f in the current
+// DS window (used to decide whether a lost replica is worth restoring).
+func (s *Site) PopularityOf(f storage.FileID) int { return s.popularity[f] }
+
+// Crash takes the site down. Running jobs are killed (their completion
+// events cancelled) and returned in job-id order; queued jobs either
+// stay in the queue for requeue-on-recovery (keepQueued) or are dropped
+// and returned. Cached replicas are lost and deregistered; masters
+// survive on mass storage. The caller must cancel in-flight transfers
+// involving this site — including DS pushes, whose source pins would
+// otherwise block the replica drop — *before* calling Crash.
+//
+// Returned jobs are left in their Running/Queued states; the caller
+// decides their fate (job.Fail + ES retry).
+func (s *Site) Crash(keepQueued bool) (running, dropped []*job.Job) {
+	if s.down {
+		return nil, nil
+	}
+	// Kill running jobs in deterministic job-id order.
+	ids := make([]job.ID, 0, len(s.running))
+	for id := range s.running {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		ref := s.running[id]
+		s.eng.Cancel(ref.ev)
+		s.release(ref.j)
+		running = append(running, ref.j)
+	}
+	s.running = make(map[job.ID]runningRef)
+	s.setBusy(0)
+
+	// Queued jobs lose whatever data holds they had; their inputs will be
+	// re-acquired on recovery (keepQueued) or at the retry site.
+	for _, j := range s.queue {
+		s.release(j)
+		j.DataReady = -1
+	}
+	if !keepQueued {
+		dropped = s.queue
+		s.queue = nil
+	}
+
+	// In-flight fetch bookkeeping dies with the site; the core has
+	// already cancelled the underlying flows.
+	s.waiting = make(map[storage.FileID][]*job.Job)
+	s.fetching = make(map[storage.FileID]bool)
+	s.transient = make(map[storage.FileID]int)
+
+	// The DS's popularity window is lost with the site.
+	s.popularity = make(map[storage.FileID]int)
+	s.popByReq = make(map[storage.FileID]map[topology.SiteID]int)
+
+	if len(s.pinned) != 0 {
+		panic(fmt.Sprintf("site %d: crash with %d job pin sets left", s.id, len(s.pinned)))
+	}
+
+	// Scratch cache is gone: drop every cached (non-master) replica.
+	res := s.store.Resident()
+	sort.Slice(res, func(i, j int) bool { return res[i] < res[j] })
+	for _, f := range res {
+		if s.store.IsMaster(f) {
+			continue
+		}
+		if !s.store.RemoveReplica(f) {
+			panic(fmt.Sprintf("site %d: crash could not drop replica %d (pin leaked across crash)", s.id, f))
+		}
+	}
+
+	s.down = true
+	return running, dropped
+}
+
+// Recover brings a crashed site back. Jobs kept in the queue (requeue on
+// recovery) re-acquire their inputs — cache hits against surviving
+// masters, fetches otherwise — and the local scheduler resumes.
+func (s *Site) Recover() {
+	if !s.down {
+		return
+	}
+	s.down = false
+	for _, j := range s.queue {
+		s.arm(j, false)
+	}
+	s.trySchedule()
+}
+
+// FailCE takes one compute element offline. If the remaining CEs cannot
+// hold the current running set, the most recently dispatched running job
+// (highest id) is killed and returned for the caller to retry elsewhere.
+// Reports false if the site is down or has no CE left to fail.
+func (s *Site) FailCE() (*job.Job, bool) {
+	if s.down || s.failedCEs >= s.ces {
+		return nil, false
+	}
+	s.failedCEs++
+	if s.busy <= s.ces-s.failedCEs {
+		return nil, true // a free CE absorbed the failure
+	}
+	victim := job.ID(-1)
+	for id := range s.running {
+		if id > victim {
+			victim = id
+		}
+	}
+	ref := s.running[victim]
+	delete(s.running, victim)
+	s.eng.Cancel(ref.ev)
+	s.setBusy(s.busy - 1)
+	s.release(ref.j)
+	return ref.j, true
+}
+
+// RecoverCE returns one failed compute element to service. CE repairs
+// are independent of site crashes: a CE fixed while its site is down
+// counts toward capacity once the site recovers.
+func (s *Site) RecoverCE() {
+	if s.failedCEs == 0 {
+		return
+	}
+	s.failedCEs--
+	if !s.down {
+		s.trySchedule()
+	}
+}
+
+// RestartFetch re-issues an interrupted inbound fetch from the closest
+// surviving replica. No-op (false) if the site is down or no longer
+// expects the file.
+func (s *Site) RestartFetch(f storage.FileID) bool {
+	if s.down || !s.fetching[f] {
+		return false
+	}
+	src, ok := s.cat.Closest(f, s.id, s.topo)
+	if !ok {
+		panic(fmt.Sprintf("site %d: no surviving replica of file %d to restart fetch from", s.id, f))
+	}
+	size, _ := s.cat.Size(f)
+	s.mover.Fetch(f, src, s.id, func() { s.fileArrived(f, size) })
+	return true
+}

@@ -1,0 +1,209 @@
+package site
+
+import (
+	"testing"
+
+	"chicsim/internal/job"
+	"chicsim/internal/storage"
+)
+
+// A crash kills running jobs, hands them back in job-id order, and drops
+// cached replicas while masters survive.
+func TestCrashKillsRunningAndDropsCache(t *testing.T) {
+	fx := newFixture(t, 2, 0, 50)
+	fx.defineFile(t, 1, 1e9, 0) // master here
+	fx.defineFile(t, 2, 1e9, 2) // master elsewhere; will be cached
+
+	j1 := fx.submit([]storage.FileID{1}, 300)
+	j2 := fx.submit([]storage.FileID{2}, 300)
+	// Let the fetch of file 2 complete and both jobs start.
+	for fx.site.Busy() < 2 {
+		if !fx.eng.Step() {
+			t.Fatal("engine drained before both jobs ran")
+		}
+	}
+
+	running, dropped := fx.site.Crash(true)
+	if len(running) != 2 || len(dropped) != 0 {
+		t.Fatalf("crash returned %d running, %d dropped", len(running), len(dropped))
+	}
+	if running[0].ID > running[1].ID {
+		t.Error("running jobs not in job-id order")
+	}
+	if !fx.site.Down() {
+		t.Error("site not down after crash")
+	}
+	if fx.site.Busy() != 0 {
+		t.Errorf("busy = %d after crash", fx.site.Busy())
+	}
+	// Cached copy of file 2 is gone (and deregistered); master 1 survives.
+	if fx.site.Store().Contains(2) {
+		t.Error("cached replica survived the crash")
+	}
+	if fx.cat.HasReplica(2, 0) {
+		t.Error("crashed site's cached replica still in catalog")
+	}
+	if !fx.site.Store().Contains(1) {
+		t.Error("master copy did not survive the crash")
+	}
+
+	// The killed jobs' completion events were cancelled: draining the
+	// engine must not complete them.
+	fx.eng.Run()
+	if len(fx.done) != 0 {
+		t.Fatalf("%d jobs completed after their site crashed", len(fx.done))
+	}
+	if j1.State != job.Running || j2.State != job.Running {
+		t.Errorf("killed jobs advanced: %v, %v (caller owns Fail)", j1.State, j2.State)
+	}
+}
+
+// Queued jobs kept across a crash re-acquire their inputs on recovery
+// and finish; the local scheduler resumes.
+func TestRecoverRequeuesQueuedJobs(t *testing.T) {
+	fx := newFixture(t, 1, 0, 50)
+	fx.defineFile(t, 1, 1e9, 0)
+	running := fx.submit([]storage.FileID{1}, 300)
+	queued := fx.submit([]storage.FileID{1}, 300)
+	for fx.site.Busy() < 1 {
+		if !fx.eng.Step() {
+			t.Fatal("engine drained early")
+		}
+	}
+
+	got, dropped := fx.site.Crash(true)
+	if len(got) != 1 || got[0] != running || len(dropped) != 0 {
+		t.Fatalf("crash returned running=%d dropped=%d", len(got), len(dropped))
+	}
+	if fx.site.QueueLen() != 1 {
+		t.Fatalf("queue len = %d, want the kept job", fx.site.QueueLen())
+	}
+
+	fx.site.Recover()
+	fx.eng.Run()
+	if queued.State != job.Done {
+		t.Fatalf("requeued job state = %v", queued.State)
+	}
+	if len(fx.done) != 1 {
+		t.Fatalf("done = %d, want just the requeued job", len(fx.done))
+	}
+}
+
+// Crash with keepQueued=false hands the queued jobs back instead.
+func TestCrashDropsQueue(t *testing.T) {
+	fx := newFixture(t, 1, 0, 50)
+	fx.defineFile(t, 1, 1e9, 0)
+	fx.submit([]storage.FileID{1}, 300)
+	queued := fx.submit([]storage.FileID{1}, 300)
+	for fx.site.Busy() < 1 {
+		if !fx.eng.Step() {
+			t.Fatal("engine drained early")
+		}
+	}
+	_, dropped := fx.site.Crash(false)
+	if len(dropped) != 1 || dropped[0] != queued {
+		t.Fatalf("dropped = %v", dropped)
+	}
+	if fx.site.QueueLen() != 0 {
+		t.Errorf("queue len = %d after dropping", fx.site.QueueLen())
+	}
+}
+
+// A CE failure with a free CE just shrinks capacity; when all CEs are
+// busy it kills the most recently dispatched running job. Repair
+// restores capacity and resumes scheduling.
+func TestCEFailureAndRepair(t *testing.T) {
+	fx := newFixture(t, 2, 0, 50)
+	fx.defineFile(t, 1, 1e9, 0)
+	j1 := fx.submit([]storage.FileID{1}, 300)
+	j2 := fx.submit([]storage.FileID{1}, 300)
+	waiting := fx.submit([]storage.FileID{1}, 300)
+	for fx.site.Busy() < 2 {
+		if !fx.eng.Step() {
+			t.Fatal("engine drained early")
+		}
+	}
+
+	// Both CEs busy: the failure must evict the higher-id running job.
+	victim, ok := fx.site.FailCE()
+	if !ok || victim != j2 {
+		t.Fatalf("FailCE = (%v, %v), want j2", victim, ok)
+	}
+	if fx.site.AvailableCEs() != 1 || fx.site.Busy() != 1 {
+		t.Fatalf("available=%d busy=%d after CE failure", fx.site.AvailableCEs(), fx.site.Busy())
+	}
+
+	// The surviving CE keeps working: j1 finishes, then the waiting job
+	// runs on it.
+	fx.eng.Run()
+	if j1.State != job.Done || waiting.State != job.Done {
+		t.Fatalf("states after drain: j1=%v waiting=%v", j1.State, waiting.State)
+	}
+
+	// Fail the last CE while idle: new work must sit queued until repair.
+	if v, ok := fx.site.FailCE(); !ok || v != nil {
+		t.Fatalf("idle FailCE = (%v, %v)", v, ok)
+	}
+	if fx.site.AvailableCEs() != 0 {
+		t.Fatalf("available = %d with every CE failed", fx.site.AvailableCEs())
+	}
+	stuck := fx.submit([]storage.FileID{1}, 300)
+	fx.eng.Run()
+	if stuck.State == job.Done {
+		t.Fatal("job ran with every CE failed")
+	}
+	fx.site.RecoverCE()
+	fx.eng.Run()
+	if stuck.State != job.Done {
+		t.Fatalf("job state = %v after CE repair", stuck.State)
+	}
+
+	// Failing every CE reports (nil, false) once none are left.
+	fx.site.FailCE()
+	if _, ok := fx.site.FailCE(); ok {
+		t.Error("FailCE succeeded with no CE left")
+	}
+}
+
+// RestartFetch re-issues an interrupted fetch only while the site still
+// expects the file.
+func TestRestartFetch(t *testing.T) {
+	fx := newFixture(t, 1, 0, 1000)
+	fx.defineFile(t, 1, 1e9, 2)
+	j := fx.submit([]storage.FileID{1}, 300)
+	// The fetch is now in flight (fakeMover scheduled delivery at 1000).
+	if fx.mover.calls != 1 {
+		t.Fatalf("fetch calls = %d", fx.mover.calls)
+	}
+	if !fx.site.RestartFetch(1) {
+		t.Fatal("RestartFetch refused a pending fetch")
+	}
+	if fx.mover.calls != 2 {
+		t.Fatalf("fetch calls = %d after restart", fx.mover.calls)
+	}
+	if fx.site.RestartFetch(2) {
+		t.Error("RestartFetch accepted a file the site is not fetching")
+	}
+	fx.eng.Run()
+	if j.State != job.Done {
+		t.Fatalf("job state = %v", j.State)
+	}
+}
+
+// Crash is idempotent and Recover on an up site is a no-op.
+func TestCrashRecoverIdempotent(t *testing.T) {
+	fx := newFixture(t, 1, 0, 50)
+	fx.site.Recover() // up: no-op
+	if fx.site.Down() {
+		t.Fatal("Recover took an up site down")
+	}
+	fx.site.Crash(true)
+	r, d := fx.site.Crash(true)
+	if r != nil || d != nil {
+		t.Errorf("second crash returned %v, %v", r, d)
+	}
+	fx.site.Recover()
+	if fx.site.Down() {
+		t.Error("site still down after recover")
+	}
+}

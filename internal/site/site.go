@@ -59,7 +59,13 @@ type Site struct {
 	// area, usable by the jobs that needed them, refcounted and discarded
 	// afterwards; they are not registered as grid replicas.
 	transient map[storage.FileID]int
-	pinned    map[job.ID][]pinRef // refs held per job
+	pinned    map[job.ID][]pinRef   // refs held per job
+	running   map[job.ID]runningRef // jobs on CEs, with their completion events
+
+	// Fault state (see faults.go). A down site accepts no work; failedCEs
+	// shrinks the schedulable CE count below the nominal ces.
+	down      bool
+	failedCEs int
 
 	popularity map[storage.FileID]int
 	popByReq   map[storage.FileID]map[topology.SiteID]int
@@ -96,6 +102,7 @@ func New(eng *desim.Engine, topo *topology.Topology, cat *catalog.Catalog, mover
 		fetching:   make(map[storage.FileID]bool),
 		transient:  make(map[storage.FileID]int),
 		pinned:     make(map[job.ID][]pinRef),
+		running:    make(map[job.ID]runningRef),
 		popularity: make(map[storage.FileID]int),
 		popByReq:   make(map[storage.FileID]map[topology.SiteID]int),
 		onDone:     onDone,
@@ -172,11 +179,25 @@ func (s *Site) present(f storage.FileID) bool {
 // missing inputs, and records dataset popularity. Matching the paper, the
 // data transfer overlaps with the queue wait.
 func (s *Site) Enqueue(j *job.Job) {
+	if s.down {
+		panic(fmt.Sprintf("site %d: Enqueue while down (the ES must treat a down site as a placement failure)", s.id))
+	}
 	j.Site = s.id
 	j.Advance(job.Queued, s.eng.Now())
 	s.queue = append(s.queue, j)
+	s.arm(j, true)
+	s.trySchedule()
+}
+
+// arm takes the data holds a queued job needs: pin present inputs, start
+// fetches for missing ones. record controls popularity accounting — true
+// on first arrival, false when re-arming after a site recovery (the job
+// is not requesting the data again, the site is restoring its own state).
+func (s *Site) arm(j *job.Job, record bool) {
 	for _, f := range j.Inputs {
-		s.recordAccess(f, j.Origin)
+		if record {
+			s.recordAccess(f, j.Origin)
+		}
 		if s.store.Contains(f) || s.transient[f] > 0 { // Contains also books the hit/miss
 			s.acquire(j, f)
 			continue
@@ -189,7 +210,6 @@ func (s *Site) Enqueue(j *job.Job) {
 	if s.jobReady(j) {
 		j.DataReady = s.eng.Now()
 	}
-	s.trySchedule()
 }
 
 // pinRef records which kind of hold a job took on an input: a storage pin
@@ -286,7 +306,10 @@ func (s *Site) ReceiveReplica(f storage.FileID, size float64) {
 // trySchedule assigns free compute elements to ready queued jobs according
 // to the local scheduling policy.
 func (s *Site) trySchedule() {
-	for s.busy < s.ces {
+	if s.down {
+		return
+	}
+	for s.busy < s.ces-s.failedCEs {
 		idx := s.ls.Next(s.queue, s.jobReady)
 		if idx < 0 {
 			return
@@ -303,10 +326,19 @@ func (s *Site) run(j *job.Job) {
 	}
 	j.Advance(job.Running, s.eng.Now())
 	s.setBusy(s.busy + 1)
-	s.eng.Schedule(j.ComputeTime/s.speed, func() { s.complete(j) })
+	ev := s.eng.Schedule(j.ComputeTime/s.speed, func() { s.complete(j) })
+	s.running[j.ID] = runningRef{j: j, ev: ev}
+}
+
+// runningRef tracks a job occupying a CE together with its completion
+// event, so a site crash or CE failure can kill it deterministically.
+type runningRef struct {
+	j  *job.Job
+	ev *desim.Event
 }
 
 func (s *Site) complete(j *job.Job) {
+	delete(s.running, j.ID)
 	j.Advance(job.Done, s.eng.Now())
 	s.setBusy(s.busy - 1)
 	s.release(j)

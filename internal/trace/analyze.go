@@ -39,6 +39,12 @@ type Analysis struct {
 	EvictCount   int
 	JobsPerSite  map[int]int
 	BytesPerFile map[int]float64
+
+	// Fault-injection events (zero on failure-free traces).
+	FaultCount     int // site/CE/link faults + aborts + replica losses
+	RepairCount    int
+	RetryCount     int
+	AbandonedCount int // jobs that ran out of retries (absent from Jobs)
 }
 
 // AvgDataPerJobMB returns total traffic per completed job, matching the
@@ -80,6 +86,8 @@ func Analyze(l *Log) (*Analysis, error) {
 		submit, dispatch, dataReady, start, end float64
 		seen                                    map[Kind]int
 		user, site                              int
+		retries                                 int
+		abandoned                               bool
 	}
 	jobs := make(map[int]*lifecycle)
 	get := func(id int) *lifecycle {
@@ -165,6 +173,16 @@ func Analyze(l *Log) (*Analysis, error) {
 			openOutput[k]--
 			a.OutputBytes += e.Bytes
 			a.OutputCount++
+		case SiteCrashed, CEFailed, LinkFault, TransferAbort, ReplicaLost:
+			a.FaultCount++
+		case SiteRecovered, CERecovered, LinkRepair:
+			a.RepairCount++
+		case JobRetried:
+			get(e.Job).retries++
+			a.RetryCount++
+		case JobAbandoned:
+			get(e.Job).abandoned = true
+			a.AbandonedCount++
 		default:
 			return nil, fmt.Errorf("trace: unknown event kind %q", e.Kind)
 		}
@@ -178,9 +196,34 @@ func Analyze(l *Log) (*Analysis, error) {
 	sort.Ints(ids)
 	for _, id := range ids {
 		lc := jobs[id]
-		for _, k := range []Kind{JobSubmitted, JobDispatched, JobStarted, JobCompleted} {
-			if lc.seen[k] != 1 {
-				return nil, fmt.Errorf("trace: job %d has %d %s events, want 1", id, lc.seen[k], k)
+		if lc.seen[JobSubmitted] != 1 {
+			return nil, fmt.Errorf("trace: job %d has %d %s events, want 1", id, lc.seen[JobSubmitted], JobSubmitted)
+		}
+		if lc.abandoned {
+			// Out of retries: the job never completed, by definition. It
+			// contributes to no response-time statistics.
+			if lc.seen[JobCompleted] != 0 {
+				return nil, fmt.Errorf("trace: job %d both abandoned and completed", id)
+			}
+			continue
+		}
+		if lc.retries == 0 {
+			// Failure-free lifecycle: the strict DGE invariants hold.
+			for _, k := range []Kind{JobDispatched, JobStarted, JobCompleted} {
+				if lc.seen[k] != 1 {
+					return nil, fmt.Errorf("trace: job %d has %d %s events, want 1", id, lc.seen[k], k)
+				}
+			}
+		} else {
+			// Retried jobs repeat dispatch/start; each attempt count is
+			// bounded by retries+1 and exactly one attempt completes.
+			if lc.seen[JobCompleted] != 1 {
+				return nil, fmt.Errorf("trace: retried job %d has %d completions, want 1", id, lc.seen[JobCompleted])
+			}
+			if lc.seen[JobDispatched] < 1 || lc.seen[JobDispatched] > lc.retries+1 ||
+				lc.seen[JobStarted] > lc.retries+1 {
+				return nil, fmt.Errorf("trace: retried job %d has implausible attempt counts (%d dispatched, %d started, %d retries)",
+					id, lc.seen[JobDispatched], lc.seen[JobStarted], lc.retries)
 			}
 		}
 		if lc.submit > lc.dispatch || lc.dispatch > lc.start || lc.start > lc.end {
@@ -203,7 +246,7 @@ func Analyze(l *Log) (*Analysis, error) {
 
 func isJobKind(k Kind) bool {
 	switch k {
-	case JobSubmitted, JobDispatched, JobDataReady, JobStarted, JobCompleted:
+	case JobSubmitted, JobDispatched, JobDataReady, JobStarted, JobCompleted, JobAbandoned:
 		return true
 	}
 	return false

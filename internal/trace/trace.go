@@ -34,6 +34,18 @@ const (
 	Evicted       Kind = "evicted"        // LRU evicted a cached replica
 	OutputStart   Kind = "output_start"   // job-output shipment began
 	OutputEnd     Kind = "output_end"     // job-output shipment delivered
+
+	// Fault-injection kinds (degraded-grid runs only).
+	SiteCrashed   Kind = "site_crashed"   // site went down; Site set
+	SiteRecovered Kind = "site_recovered" // site came back
+	CEFailed      Kind = "ce_failed"      // one compute element went offline
+	CERecovered   Kind = "ce_recovered"   // one compute element repaired
+	LinkFault     Kind = "link_fault"     // link degraded or cut; Src holds link id
+	LinkRepair    Kind = "link_repair"    // link back to nominal bandwidth
+	TransferAbort Kind = "transfer_abort" // in-flight transfer killed
+	ReplicaLost   Kind = "replica_lost"   // cached replica dropped by fault
+	JobRetried    Kind = "job_retried"    // failed job scheduled for resubmission
+	JobAbandoned  Kind = "job_abandoned"  // job out of retries, permanently failed
 )
 
 // Event is one DGE record. Fields that do not apply to a kind are -1 (ids)
