@@ -22,6 +22,7 @@ import (
 	"chicsim/internal/netsim"
 	"chicsim/internal/rng"
 	"chicsim/internal/stats"
+	"chicsim/internal/trace"
 	"chicsim/internal/workload"
 )
 
@@ -400,6 +401,43 @@ func BenchmarkObservability(b *testing.B) {
 				}
 			}
 			b.ReportMetric(float64(points), "samples/run")
+		})
+	}
+}
+
+// BenchmarkTrace measures the cost of DGE event tracing on the default
+// scenario: trace-off must match the uninstrumented seed hot path (the
+// Discard recorder is a no-op and lifecycle events are never
+// materialized), and trace-on shows the marginal cost of recording every
+// submission, dispatch, transfer, and completion into an in-memory log.
+// Compare the pair across BENCH_*.json entries to keep the "zero cost
+// when disabled" claim measurable.
+func BenchmarkTrace(b *testing.B) {
+	for _, traced := range []bool{false, true} {
+		traced := traced
+		name := "trace-off"
+		if traced {
+			name = "trace-on"
+		}
+		b.Run(name, func(b *testing.B) {
+			cfg := core.DefaultConfig()
+			var events int
+			for i := 0; i < b.N; i++ {
+				if traced {
+					log := trace.NewLog()
+					cfg.Recorder = log
+					if _, err := core.RunConfig(cfg); err != nil {
+						b.Fatal(err)
+					}
+					events = log.Len()
+				} else {
+					cfg.Recorder = nil
+					if _, err := core.RunConfig(cfg); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+			b.ReportMetric(float64(events), "events/run")
 		})
 	}
 }

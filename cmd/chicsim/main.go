@@ -18,6 +18,7 @@ import (
 	"chicsim/internal/netsim"
 	"chicsim/internal/obs"
 	"chicsim/internal/report"
+	"chicsim/internal/trace"
 	"chicsim/internal/workload"
 )
 
@@ -189,6 +190,25 @@ func main() {
 	}
 	cfg.ObsSink = streamSink
 
+	var traceRec *trace.StreamRecorder
+	var closeTrace func() error
+	if obsFlags.TracePath != "" {
+		w, err := trace.CreateWriter(obsFlags.TracePath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "chicsim:", err)
+			os.Exit(1)
+		}
+		traceRec = trace.NewStreamRecorder(w)
+		cfg.Recorder = traceRec
+		closeTrace = func() error {
+			if err := traceRec.Flush(); err != nil {
+				w.Close()
+				return err
+			}
+			return w.Close()
+		}
+	}
+
 	var manifest *obs.Manifest
 	if obsFlags.ManifestPath != "" {
 		var err error
@@ -213,9 +233,17 @@ func main() {
 			err = cerr
 		}
 	}
+	if closeTrace != nil {
+		if terr := closeTrace(); terr != nil && err == nil {
+			err = terr
+		}
+	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "chicsim:", err)
 		os.Exit(1)
+	}
+	if traceRec != nil {
+		fmt.Fprintf(os.Stderr, "chicsim: wrote %d trace events to %s\n", traceRec.Recorded(), obsFlags.TracePath)
 	}
 	if obsFlags.SeriesPath != "" {
 		f, err := os.Create(obsFlags.SeriesPath)
@@ -266,6 +294,8 @@ func printResults(r core.Results) {
 	fmt.Printf("makespan:              %.0f s\n", r.Makespan)
 	fmt.Printf("avg response time:     %.1f s   (median %.1f, p95 %.1f)\n", r.AvgResponseSec, r.MedResponseSec, r.P95ResponseSec)
 	fmt.Printf("avg queue wait:        %.1f s\n", r.AvgQueueWait)
+	fmt.Printf("response breakdown:    dispatch %.1f + data %.1f + cpu %.1f + exec %.1f s\n",
+		r.AvgDispatchWaitSec, r.AvgDataWaitSec, r.AvgCPUWaitSec, r.AvgExecSec)
 	fmt.Printf("avg data moved/job:    %.1f MB  (fetch %.1f + replication %.1f + output %.1f)\n",
 		r.AvgDataPerJobMB, r.FetchMBPerJob, r.ReplMBPerJob, r.OutputMBPerJob)
 	fmt.Printf("processor idle time:   %.1f%%  (over %d CEs)\n", 100*r.IdleFrac, r.TotalCEs)

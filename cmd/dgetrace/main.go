@@ -3,10 +3,15 @@
 // With -run it executes a simulation and writes the DGE trace; with a file
 // argument it loads a previously written trace, validates the DGE
 // invariants (complete job lifecycles, balanced transfers), and prints the
-// offline analysis.
+// offline analysis. Trace files ending in .gz are gzipped transparently in
+// both directions.
 //
-//	dgetrace -run -o dge.jsonl -es JobDataPresent -ds DataLeastLoaded
-//	dgetrace dge.jsonl
+//	dgetrace -run -o dge.jsonl.gz -es JobDataPresent -ds DataLeastLoaded
+//	dgetrace dge.jsonl.gz                  # summary + invariants
+//	dgetrace -validate dge.jsonl.gz        # lifecycle + fault invariants only
+//	dgetrace -spans 17 dge.jsonl.gz        # span tree of job 17
+//	dgetrace -critpath dge.jsonl.gz        # whole-DGE critical path + decomposition
+//	dgetrace -chrome dge.json dge.jsonl.gz # Chrome trace-event JSON (Perfetto)
 package main
 
 import (
@@ -14,6 +19,7 @@ import (
 	"fmt"
 	"os"
 	"sort"
+	"strings"
 
 	"chicsim/internal/core"
 	"chicsim/internal/trace"
@@ -21,58 +27,98 @@ import (
 
 func main() {
 	run := flag.Bool("run", false, "run a simulation and record its trace")
-	out := flag.String("o", "", "with -run: write the trace to this file (default stdout)")
+	out := flag.String("o", "", "with -run: write the trace to this file (default stdout; .gz gzips)")
 	esName := flag.String("es", "JobDataPresent", "with -run: external scheduler")
 	dsName := flag.String("ds", "DataLeastLoaded", "with -run: dataset scheduler")
 	jobs := flag.Int("jobs", 0, "with -run: override total jobs (0 = Table 1's 6000)")
 	seed := flag.Uint64("seed", 1, "with -run: random seed")
 	topN := flag.Int("top", 5, "analysis: show the N hottest files and sites")
+	spans := flag.Int("spans", -1, "print the span tree of this job id (-1 = off)")
+	critpath := flag.Bool("critpath", false, "print the whole-DGE critical path and response decomposition")
+	chrome := flag.String("chrome", "", "export a Chrome trace-event JSON file to this path (view in Perfetto)")
+	validate := flag.Bool("validate", false, "check lifecycle, transfer, and fault-injection invariants, then exit")
 	flag.Parse()
 
-	var log *trace.Log
-	switch {
-	case *run:
+	if *run {
 		cfg := core.DefaultConfig()
 		cfg.ES, cfg.DS, cfg.Seed = *esName, *dsName, *seed
 		if *jobs > 0 {
 			cfg.TotalJobs = *jobs
 		}
-		dst := os.Stdout
+		// Stream events straight to the sink: memory stays flat no matter
+		// how long the execution runs.
+		var rec *trace.StreamRecorder
 		if *out != "" {
-			f, err := os.Create(*out)
+			w, err := trace.CreateWriter(*out)
 			if err != nil {
 				fatal(err)
 			}
-			defer f.Close()
-			dst = f
+			rec = trace.NewStreamRecorder(w)
+			cfg.Recorder = rec
+			defer func() {
+				if err := rec.Flush(); err != nil {
+					fatal(err)
+				}
+				if err := w.Close(); err != nil {
+					fatal(err)
+				}
+				fmt.Fprintf(os.Stderr, "dgetrace: wrote %d events to %s\n", rec.Recorded(), *out)
+			}()
+		} else {
+			rec = trace.NewStreamRecorder(os.Stdout)
+			cfg.Recorder = rec
+			defer func() {
+				if err := rec.Flush(); err != nil {
+					fatal(err)
+				}
+			}()
 		}
-		// Stream events straight to the file: memory stays flat no
-		// matter how long the execution runs.
-		rec := trace.NewStreamRecorder(dst)
-		cfg.Recorder = rec
 		if _, err := core.RunConfig(cfg); err != nil {
 			fatal(err)
 		}
-		if err := rec.Flush(); err != nil {
-			fatal(err)
-		}
-		if *out != "" {
-			fmt.Fprintf(os.Stderr, "dgetrace: wrote %d events to %s\n", rec.Recorded(), *out)
-		}
 		return
-	case flag.NArg() == 1:
-		f, err := os.Open(flag.Arg(0))
-		if err != nil {
-			fatal(err)
-		}
-		log, err = trace.ReadJSONL(f)
-		f.Close()
-		if err != nil {
-			fatal(err)
-		}
-	default:
-		fmt.Fprintln(os.Stderr, "usage: dgetrace -run [-o file] | dgetrace <trace.jsonl>")
+	}
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: dgetrace -run [-o file] | dgetrace [-validate|-spans N|-critpath|-chrome out.json] <trace.jsonl[.gz]>")
 		os.Exit(2)
+	}
+	log, err := trace.OpenLog(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+
+	if *validate {
+		if _, err := trace.Analyze(log); err != nil {
+			fatal(fmt.Errorf("trace INVALID: %w", err))
+		}
+		if err := trace.ValidateFaults(log); err != nil {
+			fatal(fmt.Errorf("trace INVALID: %w", err))
+		}
+		fmt.Printf("trace OK: %d events, lifecycle + transfer + fault invariants hold\n", log.Len())
+		return
+	}
+	if *chrome != "" {
+		f, err := os.Create(*chrome)
+		if err != nil {
+			fatal(err)
+		}
+		if err := trace.WriteChromeTrace(f, log); err != nil {
+			f.Close()
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "dgetrace: wrote Chrome trace to %s (open in https://ui.perfetto.dev)\n", *chrome)
+		return
+	}
+	if *spans >= 0 {
+		printSpans(log, *spans)
+		return
+	}
+	if *critpath {
+		printCritPath(log)
+		return
 	}
 
 	a, err := trace.Analyze(log)
@@ -113,6 +159,79 @@ func main() {
 		fmt.Printf(" s%d(%d)", sites[i].id, int(sites[i].v))
 	}
 	fmt.Println()
+}
+
+// printSpans renders one job's reconstructed span tree.
+func printSpans(log *trace.Log, jobID int) {
+	forest, err := trace.BuildSpans(log)
+	if err != nil {
+		fatal(fmt.Errorf("trace INVALID: %w", err))
+	}
+	t := forest.Job(jobID)
+	if t == nil {
+		fatal(fmt.Errorf("job %d not found among %d completed jobs", jobID, len(forest.Jobs)))
+	}
+	fmt.Printf("job %d (user %d, site %d, %d retries): response %.1f s\n",
+		t.Job, t.User, t.Site, t.Retries, t.Response())
+	d := t.Decomp
+	fmt.Printf("decomposition: retry %.1f + data %.1f + queue %.1f + exec %.1f = %.1f s\n",
+		d.Retry, d.Data, d.Queue, d.Exec, d.Response())
+	printSpan(t.Root, 0)
+}
+
+func printSpan(s *trace.Span, depth int) {
+	indent := strings.Repeat("  ", depth)
+	detail := ""
+	if s.File >= 0 {
+		detail += fmt.Sprintf(" file=%d", s.File)
+	}
+	if s.Src >= 0 {
+		detail += fmt.Sprintf(" %d→%d", s.Src, s.Dst)
+	}
+	if s.Bytes > 0 {
+		detail += fmt.Sprintf(" %.0fMB", s.Bytes/1e6)
+	}
+	if s.Aborted {
+		detail += " ABORTED"
+	}
+	fmt.Printf("%s%-9s [%10.1f, %10.1f] %8.1fs%s\n", indent, s.Kind, s.Start, s.End, s.Duration(), detail)
+	for _, c := range s.Children {
+		printSpan(c, depth+1)
+	}
+}
+
+// printCritPath renders the whole-DGE critical path and the aggregate
+// response-time decomposition.
+func printCritPath(log *trace.Log) {
+	forest, err := trace.BuildSpans(log)
+	if err != nil {
+		fatal(fmt.Errorf("trace INVALID: %w", err))
+	}
+	st := forest.DecompStats()
+	fmt.Printf("DGE: %d jobs completed, %d abandoned, makespan %.0f s\n",
+		len(forest.Jobs), len(forest.Abandoned), forest.Makespan)
+	fmt.Printf("mean response %.1f s = retry %.1f + data %.1f + queue %.1f + exec %.1f\n",
+		st.MeanResponse, st.MeanRetry, st.MeanData, st.MeanQueue, st.MeanExec)
+	fmt.Printf("response shares: retry %.1f%%, data %.1f%%, queue %.1f%%, exec %.1f%%\n",
+		100*st.RetryShare, 100*st.DataShare, 100*st.QueueShare, 100*st.ExecShare)
+
+	p := forest.CriticalPath()
+	if p.User < 0 {
+		fmt.Println("critical path: (no completed jobs)")
+		return
+	}
+	fmt.Printf("critical path: user %d's chain of %d jobs, [%.1f, %.1f] (%.1f s)\n",
+		p.User, len(p.Jobs), p.Start, p.End, p.Length())
+	fmt.Printf("  retry %.1f + data %.1f + queue %.1f + exec %.1f + slack %.1f s\n",
+		p.Retry, p.Data, p.Queue, p.Exec, p.Slack)
+	frac := func(v float64) float64 {
+		if p.Length() <= 0 {
+			return 0
+		}
+		return 100 * v / p.Length()
+	}
+	fmt.Printf("  shares: retry %.1f%%, data %.1f%%, queue %.1f%%, exec %.1f%%, slack %.1f%%\n",
+		frac(p.Retry), frac(p.Data), frac(p.Queue), frac(p.Exec), frac(p.Slack))
 }
 
 func fatal(err error) {

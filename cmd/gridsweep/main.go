@@ -42,6 +42,10 @@ func main() {
 		fmt.Fprintln(os.Stderr, "gridsweep: -obs-stream applies to a single simulation; ignoring (use chicsim -obs-stream)")
 		obsFlags.StreamPath = ""
 	}
+	if obsFlags.TracePath != "" {
+		fmt.Fprintln(os.Stderr, "gridsweep: -trace-out applies to a single simulation; ignoring (use chicsim -trace-out or dgetrace -run)")
+		obsFlags.TracePath = ""
+	}
 
 	base := core.DefaultConfig()
 	if *list {
@@ -166,6 +170,9 @@ func main() {
 			report.MarkdownGrid(os.Stdout, results, fig.m, esNames, dsNames, 10)
 			fmt.Println()
 		}
+		fmt.Printf("### Response-time decomposition\n\n")
+		report.DecompositionMarkdown(os.Stdout, results, esNames, "DataLeastLoaded", 10)
+		fmt.Println()
 		return
 	}
 	switch *fig {

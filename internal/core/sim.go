@@ -146,7 +146,7 @@ type pushKey struct {
 // job-driven fetches and crediting the source site's popularity tracker.
 type mover struct{ s *Simulation }
 
-func (m mover) Fetch(f storage.FileID, from, to topology.SiteID, done func()) {
+func (m mover) Fetch(f storage.FileID, from, to topology.SiteID, requester job.ID, done func()) {
 	size, ok := m.s.cat.Size(f)
 	if !ok {
 		panic(fmt.Sprintf("core: fetch of undefined file %d", f))
@@ -155,7 +155,7 @@ func (m mover) Fetch(f storage.FileID, from, to topology.SiteID, done func()) {
 		m.s.sites[from].RecordRemoteRequest(f, to)
 		m.s.rec.Record(trace.Event{
 			T: m.s.eng.Now(), Kind: trace.FetchStart,
-			File: int(f), Src: int(from), Dst: int(to),
+			Job: int(requester), File: int(f), Src: int(from), Dst: int(to),
 		})
 	}
 	fl := m.s.net.Transfer(from, to, size, func(fl *netsim.Flow) {
@@ -164,7 +164,7 @@ func (m mover) Fetch(f storage.FileID, from, to topology.SiteID, done func()) {
 			m.s.collector.Transfer(metrics.FetchTransfer, size)
 			m.s.rec.Record(trace.Event{
 				T: m.s.eng.Now(), Kind: trace.FetchEnd,
-				File: int(f), Src: int(from), Dst: int(to), Bytes: size,
+				Job: int(requester), File: int(f), Src: int(from), Dst: int(to), Bytes: size,
 			})
 		}
 		done()

@@ -1,0 +1,181 @@
+package core
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"reflect"
+	"testing"
+
+	"chicsim/internal/trace"
+)
+
+// TestDecompositionSumsToResponse is the tentpole's accounting property:
+// for every completed job, across seeds and scheduler pairs, the four
+// reconstructed phases (retry + data + queue + exec) must tile the
+// measured response time exactly — and the online per-run means must
+// agree with the offline reconstruction.
+func TestDecompositionSumsToResponse(t *testing.T) {
+	combos := []struct{ es, ds string }{
+		{"JobRandom", "DataDoNothing"},
+		{"JobDataPresent", "DataLeastLoaded"},
+	}
+	for _, combo := range combos {
+		for seed := uint64(1); seed <= 3; seed++ {
+			cfg := smallConfig()
+			cfg.ES, cfg.DS, cfg.Seed = combo.es, combo.ds, seed
+			log := trace.NewLog()
+			cfg.Recorder = log
+			res, err := RunConfig(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			f, err := trace.BuildSpans(log)
+			if err != nil {
+				t.Fatalf("%s+%s seed %d: %v", combo.es, combo.ds, seed, err)
+			}
+			if len(f.Jobs) != res.JobsDone {
+				t.Fatalf("%s+%s seed %d: %d span trees, %d jobs done",
+					combo.es, combo.ds, seed, len(f.Jobs), res.JobsDone)
+			}
+			for _, jt := range f.Jobs {
+				d := jt.Decomp
+				if d.Retry < 0 || d.Data < 0 || d.Queue < 0 || d.Exec < 0 {
+					t.Fatalf("job %d: negative phase in %+v", jt.Job, d)
+				}
+				if math.Abs(d.Response()-jt.Response()) > 1e-9 {
+					t.Fatalf("job %d: phases sum to %v, response %v (%+v)",
+						jt.Job, d.Response(), jt.Response(), d)
+				}
+			}
+			// Online means agree with the offline reconstruction and tile
+			// the mean response.
+			st := f.DecompStats()
+			onlineSum := res.AvgDispatchWaitSec + res.AvgDataWaitSec + res.AvgCPUWaitSec + res.AvgExecSec
+			if math.Abs(onlineSum-res.AvgResponseSec) > 1e-9 {
+				t.Fatalf("online decomposition sums to %v, mean response %v", onlineSum, res.AvgResponseSec)
+			}
+			for _, pair := range [][2]float64{
+				{st.MeanRetry, res.AvgDispatchWaitSec},
+				{st.MeanData, res.AvgDataWaitSec},
+				{st.MeanQueue, res.AvgCPUWaitSec},
+				{st.MeanExec, res.AvgExecSec},
+			} {
+				if math.Abs(pair[0]-pair[1]) > 1e-6 {
+					t.Fatalf("%s+%s seed %d: offline %v vs online %v (stats %+v)",
+						combo.es, combo.ds, seed, pair[0], pair[1], st)
+				}
+			}
+		}
+	}
+}
+
+// TestDataShareCollapsesUnderReplication reproduces §5 qualitatively:
+// data-unaware placement without replication is dominated by data wait,
+// while JobDataPresent with DataLeastLoaded replication collapses it.
+func TestDataShareCollapsesUnderReplication(t *testing.T) {
+	share := func(esName, dsName string) float64 {
+		cfg := smallConfig()
+		cfg.ES, cfg.DS = esName, dsName
+		log := trace.NewLog()
+		cfg.Recorder = log
+		if _, err := RunConfig(cfg); err != nil {
+			t.Fatal(err)
+		}
+		f, err := trace.BuildSpans(log)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return f.DecompStats().DataShare
+	}
+	naive := share("JobRandom", "DataDoNothing")
+	decoupled := share("JobDataPresent", "DataLeastLoaded")
+	if naive < 0.2 {
+		t.Fatalf("JobRandom+DataDoNothing data share %v; expected data-dominated", naive)
+	}
+	if decoupled > naive/2 {
+		t.Fatalf("data share did not collapse: naive %v, JobDataPresent+repl %v", naive, decoupled)
+	}
+}
+
+// TestFaultedTraceSpansConsistent runs the aggressive fault mix and
+// checks that span reconstruction, fault validation, and the critical
+// path all hold together on a degraded grid.
+func TestFaultedTraceSpansConsistent(t *testing.T) {
+	cfg := faultTestConfig(11)
+	log := trace.NewLog()
+	cfg.Recorder = log
+	res, err := RunConfig(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := trace.ValidateFaults(log); err != nil {
+		t.Fatalf("fault invariants: %v", err)
+	}
+	f, err := trace.BuildSpans(log)
+	if err != nil {
+		t.Fatalf("span reconstruction: %v", err)
+	}
+	if len(f.Jobs) != res.JobsDone || len(f.Abandoned) != res.JobsFailed {
+		t.Fatalf("forest %d/%d vs results %d/%d",
+			len(f.Jobs), len(f.Abandoned), res.JobsDone, res.JobsFailed)
+	}
+	for _, jt := range f.Jobs {
+		d := jt.Decomp
+		if d.Retry < 0 || d.Data < 0 || d.Queue < 0 || d.Exec < 0 {
+			t.Fatalf("job %d: negative phase in %+v", jt.Job, d)
+		}
+		if math.Abs(d.Response()-jt.Response()) > 1e-9 {
+			t.Fatalf("job %d: phases sum to %v, response %v", jt.Job, d.Response(), jt.Response())
+		}
+	}
+	if res.JobsRetried > 0 {
+		retried := 0
+		for _, jt := range f.Jobs {
+			retried += jt.Retries
+		}
+		for _, a := range f.Abandoned {
+			retried += a.Retries
+		}
+		if retried != res.JobsRetried {
+			t.Fatalf("span retries %d vs results %d", retried, res.JobsRetried)
+		}
+	}
+	p := f.CriticalPath()
+	sum := p.Retry + p.Data + p.Queue + p.Exec + p.Slack
+	if math.Abs(sum-p.Length()) > 1e-9 {
+		t.Fatalf("critical path components sum to %v, length %v", sum, p.Length())
+	}
+	var buf bytes.Buffer
+	if err := f.WriteChrome(&buf, log); err != nil {
+		t.Fatal(err)
+	}
+	if !json.Valid(buf.Bytes()) {
+		t.Fatal("chrome export of faulted trace is not valid JSON")
+	}
+}
+
+// TestRecorderDoesNotPerturbResults: attaching a trace recorder must not
+// change a single measured number — tracing observes the DGE, it never
+// participates in it.
+func TestRecorderDoesNotPerturbResults(t *testing.T) {
+	for _, faulted := range []bool{false, true} {
+		cfg := smallConfig()
+		if faulted {
+			cfg = faultTestConfig(5)
+		}
+		plain, err := RunConfig(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		traced := cfg
+		traced.Recorder = trace.NewLog()
+		withRec, err := RunConfig(traced)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(plain, withRec) {
+			t.Fatalf("faulted=%v: recorder changed results:\n%+v\n%+v", faulted, plain, withRec)
+		}
+	}
+}

@@ -48,6 +48,14 @@ type CellResult struct {
 	CI95ResponseSec float64 // half-width of the 95% CI over seeds
 	AvgDataPerJobMB float64
 	AvgIdleFrac     float64
+
+	// Response-time decomposition, mean over seeds of each run's per-job
+	// means. The four components sum to AvgResponseSec (each run's do),
+	// so the campaign tables can show *where* response time goes per cell.
+	AvgDispatchWaitSec float64
+	AvgDataWaitSec     float64
+	AvgCPUWaitSec      float64
+	AvgExecSec         float64
 }
 
 // ResponseSamples returns the per-seed response means (for significance
@@ -66,9 +74,14 @@ func (cr *CellResult) aggregate() {
 		return
 	}
 	var data, idle []float64
+	var disp, dwait, cpu, exec []float64
 	for _, r := range cr.Runs {
 		data = append(data, r.AvgDataPerJobMB)
 		idle = append(idle, r.IdleFrac)
+		disp = append(disp, r.AvgDispatchWaitSec)
+		dwait = append(dwait, r.AvgDataWaitSec)
+		cpu = append(cpu, r.AvgCPUWaitSec)
+		exec = append(exec, r.AvgExecSec)
 	}
 	sum := stats.Summarize(cr.ResponseSamples())
 	cr.AvgResponseSec = sum.Mean
@@ -76,6 +89,10 @@ func (cr *CellResult) aggregate() {
 	cr.CI95ResponseSec = sum.CI95
 	cr.AvgDataPerJobMB = stats.Mean(data)
 	cr.AvgIdleFrac = stats.Mean(idle)
+	cr.AvgDispatchWaitSec = stats.Mean(disp)
+	cr.AvgDataWaitSec = stats.Mean(dwait)
+	cr.AvgCPUWaitSec = stats.Mean(cpu)
+	cr.AvgExecSec = stats.Mean(exec)
 }
 
 // CompareResponse runs Welch's t-test on the per-seed response times of

@@ -43,6 +43,45 @@ type JobRecord struct {
 // Response returns End − Submit.
 func (r JobRecord) Response() float64 { return r.End - r.Submit }
 
+// Decomposition splits one job's response time into the four disjoint
+// phases of its lifecycle. The phases tile [Submit, End] exactly:
+//
+//	Response = DispatchWait + DataWait + CPUWait + Exec
+//
+// DispatchWait covers submit→(final) dispatch: zero in the paper's online
+// model, the buffering window under batch scheduling, and failed attempts
+// plus backoff on faulted runs — the "retry share". DataWait is
+// dispatch→data-ready (the coupled transfer the paper's DS tries to
+// hide), CPUWait is data-ready→start (waiting for a free compute element
+// with data already in hand), and Exec is start→end.
+type Decomposition struct {
+	DispatchWait float64
+	DataWait     float64
+	CPUWait      float64
+	Exec         float64
+}
+
+// Sum returns the total of the four phases (= the job's response time).
+func (d Decomposition) Sum() float64 {
+	return d.DispatchWait + d.DataWait + d.CPUWait + d.Exec
+}
+
+// Decompose returns the record's response-time decomposition. A record
+// without a data-ready timestamp (defensive; completed jobs always have
+// one) charges the whole wait to DataWait.
+func (r JobRecord) Decompose() Decomposition {
+	ready := r.DataReady
+	if ready < 0 {
+		ready = r.Start
+	}
+	return Decomposition{
+		DispatchWait: r.Dispatch - r.Submit,
+		DataWait:     ready - r.Dispatch,
+		CPUWait:      r.Start - ready,
+		Exec:         r.End - r.Start,
+	}
+}
+
 // Collector accumulates measurements during a run.
 type Collector struct {
 	records     []JobRecord
@@ -109,6 +148,16 @@ type Results struct {
 	P95ResponseSec float64
 	AvgQueueWait   float64 // StartTime − DispatchTime
 
+	// Response-time decomposition (means over jobs; see JobRecord.
+	// Decompose). The four components sum to AvgResponseSec exactly, so
+	// the §5 "where does response time go" story is a first-class
+	// measurement: AvgDataWaitSec collapses under JobDataPresent with
+	// replication while AvgCPUWaitSec grows at the hotspots.
+	AvgDispatchWaitSec float64 // submit→dispatch (batch windows, retries)
+	AvgDataWaitSec     float64 // dispatch→data ready (coupled transfers)
+	AvgCPUWaitSec      float64 // data ready→start (processor contention)
+	AvgExecSec         float64 // start→end
+
 	AvgDataPerJobMB float64 // paper Figure 3b (all traffic / jobs)
 	FetchMBPerJob   float64
 	ReplMBPerJob    float64
@@ -136,6 +185,11 @@ func (c *Collector) Summarize(busyCEIntegral float64, totalCEs int) Results {
 	for _, rec := range c.records {
 		responses = append(responses, rec.Response())
 		r.AvgQueueWait += rec.Start - rec.Dispatch
+		d := rec.Decompose()
+		r.AvgDispatchWaitSec += d.DispatchWait
+		r.AvgDataWaitSec += d.DataWait
+		r.AvgCPUWaitSec += d.CPUWait
+		r.AvgExecSec += d.Exec
 		if rec.End > r.Makespan {
 			r.Makespan = rec.End
 		}
@@ -150,6 +204,10 @@ func (c *Collector) Summarize(busyCEIntegral float64, totalCEs int) Results {
 	r.MedResponseSec = percentile(responses, 0.5)
 	r.P95ResponseSec = percentile(responses, 0.95)
 	r.AvgQueueWait /= n
+	r.AvgDispatchWaitSec /= n
+	r.AvgDataWaitSec /= n
+	r.AvgCPUWaitSec /= n
+	r.AvgExecSec /= n
 
 	const mb = 1e6
 	r.AvgDataPerJobMB = (c.fetchBytes + c.replBytes + c.outputBytes) / mb / n

@@ -18,6 +18,7 @@ type Flags struct {
 	SeriesInterval float64 // -obs-interval: virtual seconds between samples
 	StreamPath     string  // -obs-stream: incremental JSONL/CSV sample stream
 	ManifestPath   string  // -manifest: JSON run-manifest destination
+	TracePath      string  // -trace-out: DGE event-trace destination (.gz = gzip)
 }
 
 // BindFlags registers the shared observability flags on fs (use
@@ -30,6 +31,7 @@ func BindFlags(fs *flag.FlagSet) *Flags {
 	fs.Float64Var(&f.SeriesInterval, "obs-interval", 60, "virtual-time probe sampling interval in seconds (with -obs)")
 	fs.StringVar(&f.StreamPath, "obs-stream", "", "stream probe samples to this file as they are taken (.csv extension selects CSV, anything else JSON Lines)")
 	fs.StringVar(&f.ManifestPath, "manifest", "", "write a run manifest (config hash, seeds, git describe, timings) to this JSON file")
+	fs.StringVar(&f.TracePath, "trace-out", "", "record the DGE event trace to this JSONL file (.gz gzips; analyze with dgetrace)")
 	return f
 }
 

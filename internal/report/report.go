@@ -130,16 +130,39 @@ func MarkdownGrid(w io.Writer, results []experiments.CellResult, m Metric, esNam
 
 // CSV writes every cell as one comma-separated row, suitable for plotting.
 func CSV(w io.Writer, results []experiments.CellResult) {
-	fmt.Fprintln(w, "es,ds,bandwidth_mbps,site_mtbf_s,seeds,avg_response_s,std_response_s,avg_data_mb_per_job,idle_pct")
+	fmt.Fprintln(w, "es,ds,bandwidth_mbps,site_mtbf_s,seeds,avg_response_s,std_response_s,avg_data_mb_per_job,idle_pct,dispatch_wait_s,data_wait_s,cpu_wait_s,exec_s")
 	for i := range results {
 		cr := &results[i]
 		if cr.Err != nil {
-			fmt.Fprintf(w, "%s,%s,%g,%g,0,error,%q,,\n", cr.Cell.ES, cr.Cell.DS, cr.Cell.BandwidthMBps, cr.Cell.SiteMTBF, cr.Err.Error())
+			fmt.Fprintf(w, "%s,%s,%g,%g,0,error,%q,,,,,,\n", cr.Cell.ES, cr.Cell.DS, cr.Cell.BandwidthMBps, cr.Cell.SiteMTBF, cr.Err.Error())
 			continue
 		}
-		fmt.Fprintf(w, "%s,%s,%g,%g,%d,%.2f,%.2f,%.2f,%.2f\n",
+		fmt.Fprintf(w, "%s,%s,%g,%g,%d,%.2f,%.2f,%.2f,%.2f,%.2f,%.2f,%.2f,%.2f\n",
 			cr.Cell.ES, cr.Cell.DS, cr.Cell.BandwidthMBps, cr.Cell.SiteMTBF, len(cr.Runs),
-			cr.AvgResponseSec, cr.StdResponseSec, cr.AvgDataPerJobMB, 100*cr.AvgIdleFrac)
+			cr.AvgResponseSec, cr.StdResponseSec, cr.AvgDataPerJobMB, 100*cr.AvgIdleFrac,
+			cr.AvgDispatchWaitSec, cr.AvgDataWaitSec, cr.AvgCPUWaitSec, cr.AvgExecSec)
+	}
+}
+
+// DecompositionMarkdown writes the response-time decomposition of the
+// four ES algorithms at a fixed DS and bandwidth as a markdown table:
+// one row per ES, columns for the dispatch/data/cpu/exec phase means and
+// their total (= the cell's average response time). It renders the §5
+// causal story directly: JobDataPresent with replication collapses the
+// data column, JobLocal trades it for cpu wait at the hotspots.
+func DecompositionMarkdown(w io.Writer, results []experiments.CellResult, esNames []string, dsName string, bandwidth float64) {
+	idx := experiments.ByCell(results)
+	fmt.Fprintf(w, "| response decomposition (s), DS=%s @ %g MB/s | dispatch | data | cpu | exec | total |\n", dsName, bandwidth)
+	fmt.Fprintln(w, "|---|---|---|---|---|---|")
+	for _, esName := range esNames {
+		cr, ok := idx[experiments.Cell{ES: esName, DS: dsName, BandwidthMBps: bandwidth}]
+		if !ok || cr.Err != nil || len(cr.Runs) == 0 {
+			fmt.Fprintf(w, "| %s | – | – | – | – | – |\n", esName)
+			continue
+		}
+		total := cr.AvgDispatchWaitSec + cr.AvgDataWaitSec + cr.AvgCPUWaitSec + cr.AvgExecSec
+		fmt.Fprintf(w, "| %s | %.1f | %.1f | %.1f | %.1f | %.1f |\n",
+			esName, cr.AvgDispatchWaitSec, cr.AvgDataWaitSec, cr.AvgCPUWaitSec, cr.AvgExecSec, total)
 	}
 }
 

@@ -162,7 +162,13 @@ func (s *Site) RestartFetch(f storage.FileID) bool {
 	if !ok {
 		panic(fmt.Sprintf("site %d: no surviving replica of file %d to restart fetch from", s.id, f))
 	}
+	// Credit the restart to the first job still waiting on the file; a
+	// restart with no waiters has no job to attribute.
+	requester := job.ID(-1)
+	if ws := s.waiting[f]; len(ws) > 0 {
+		requester = ws[0].ID
+	}
 	size, _ := s.cat.Size(f)
-	s.mover.Fetch(f, src, s.id, func() { s.fileArrived(f, size) })
+	s.mover.Fetch(f, src, s.id, requester, func() { s.fileArrived(f, size) })
 	return true
 }

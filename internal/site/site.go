@@ -19,9 +19,12 @@ import (
 
 // DataMover moves a file between sites on behalf of a site runtime. The
 // core simulation implements it over netsim, attributing the traffic to
-// job-driven fetches. done fires when the last byte arrives.
+// job-driven fetches. requester is the job whose arrival triggered the
+// fetch (-1 when no single job can be credited, e.g. a restart with no
+// waiters), so traces can reconstruct causal fetch→job spans. done fires
+// when the last byte arrives.
 type DataMover interface {
-	Fetch(f storage.FileID, from, to topology.SiteID, done func())
+	Fetch(f storage.FileID, from, to topology.SiteID, requester job.ID, done func())
 }
 
 // Config sizes one site.
@@ -204,7 +207,7 @@ func (s *Site) arm(j *job.Job, record bool) {
 		}
 		s.waiting[f] = append(s.waiting[f], j)
 		if !s.fetching[f] {
-			s.startFetch(f)
+			s.startFetch(f, j.ID)
 		}
 	}
 	if s.jobReady(j) {
@@ -258,8 +261,8 @@ func (s *Site) jobReady(j *job.Job) bool {
 }
 
 // startFetch picks the closest replica source and asks the data mover to
-// bring the file here.
-func (s *Site) startFetch(f storage.FileID) {
+// bring the file here on behalf of the requesting job.
+func (s *Site) startFetch(f storage.FileID, requester job.ID) {
 	src, ok := s.cat.Closest(f, s.id, s.topo)
 	if !ok {
 		panic(fmt.Sprintf("site %d: no replica of file %d anywhere", s.id, f))
@@ -267,7 +270,7 @@ func (s *Site) startFetch(f storage.FileID) {
 	s.fetching[f] = true
 	s.fetchesStarted++
 	size, _ := s.cat.Size(f)
-	s.mover.Fetch(f, src, s.id, func() { s.fileArrived(f, size) })
+	s.mover.Fetch(f, src, s.id, requester, func() { s.fileArrived(f, size) })
 }
 
 // fileArrived lands a file (from a fetch or a DS push). It caches the file

@@ -19,7 +19,7 @@ type fakeMover struct {
 	calls int
 }
 
-func (m *fakeMover) Fetch(f storage.FileID, from, to topology.SiteID, done func()) {
+func (m *fakeMover) Fetch(f storage.FileID, from, to topology.SiteID, requester job.ID, done func()) {
 	m.calls++
 	m.eng.Schedule(m.delay, done)
 }

@@ -1,0 +1,232 @@
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Chrome trace-event JSON export (viewable in chrome://tracing and
+// Perfetto). Track layout:
+//
+//   - One process per site ("site N"), with one thread lane per
+//     concurrently busy compute element ("CE k") holding exec spans, and
+//     a "faults" lane of instant markers (crash/recover, CE fail/repair,
+//     replica loss).
+//   - One process per directed link route ("link A→B"), with as many
+//     "xfer k" lanes as transfers overlap, holding fetch, replication,
+//     and output spans.
+//
+// Within every lane the greedy interval assignment guarantees spans are
+// monotone and non-overlapping. Timestamps are microseconds of virtual
+// time.
+
+const (
+	sitePIDBase = 1000
+	linkPIDBase = 100000
+)
+
+// chromeEvent is one entry in the traceEvents array.
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	Ts   float64        `json:"ts"`
+	Dur  *float64       `json:"dur,omitempty"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	S    string         `json:"s,omitempty"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+type chromeFile struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+// WriteChromeTrace reconstructs spans from l and writes a Chrome
+// trace-event JSON file to w.
+func WriteChromeTrace(w io.Writer, l *Log) error {
+	f, err := BuildSpans(l)
+	if err != nil {
+		return err
+	}
+	return f.WriteChrome(w, l)
+}
+
+// WriteChrome writes the forest as Chrome trace-event JSON. The log is
+// consulted for fault instant markers; pass nil to omit them.
+func (f *Forest) WriteChrome(w io.Writer, l *Log) error {
+	const usec = 1e6
+	var out chromeFile
+	out.DisplayTimeUnit = "ms"
+
+	meta := func(pid, tid int, kind, name string) {
+		args := map[string]any{"name": name}
+		out.TraceEvents = append(out.TraceEvents, chromeEvent{
+			Name: kind, Ph: "M", Pid: pid, Tid: tid, Args: args,
+		})
+	}
+	complete := func(pid, tid int, name, cat string, sp *Span) {
+		dur := (sp.End - sp.Start) * usec
+		args := map[string]any{}
+		if sp.Job >= 0 {
+			args["job"] = sp.Job
+		}
+		if sp.File >= 0 {
+			args["file"] = sp.File
+		}
+		if sp.Bytes > 0 {
+			args["bytes"] = sp.Bytes
+		}
+		if sp.Aborted {
+			args["aborted"] = true
+		}
+		out.TraceEvents = append(out.TraceEvents, chromeEvent{
+			Name: name, Cat: cat, Ph: "X", Ts: sp.Start * usec, Dur: &dur,
+			Pid: pid, Tid: tid, Args: args,
+		})
+	}
+
+	// Site tracks: exec spans grouped by site, lane-assigned to CEs.
+	execBySite := make(map[int][]*Span)
+	for _, t := range f.Jobs {
+		for _, sp := range t.Root.Children {
+			if sp.Kind == SpanExec {
+				execBySite[t.Site] = append(execBySite[t.Site], sp)
+			}
+		}
+	}
+	sites := sortedKeys(execBySite)
+	for _, site := range sites {
+		pid := sitePIDBase + site
+		meta(pid, 0, "process_name", fmt.Sprintf("site %d", site))
+		for lane, spans := range assignLanes(execBySite[site]) {
+			meta(pid, lane, "thread_name", fmt.Sprintf("CE %d", lane))
+			for _, sp := range spans {
+				complete(pid, lane, fmt.Sprintf("job %d", sp.Job), "exec", sp)
+			}
+		}
+	}
+
+	// Link tracks: all transfer spans grouped by directed route.
+	byRoute := make(map[[2]int][]*Span)
+	addXfer := func(sp *Span) {
+		if sp.Src < 0 || sp.Dst < 0 {
+			return
+		}
+		k := [2]int{sp.Src, sp.Dst}
+		byRoute[k] = append(byRoute[k], sp)
+	}
+	for _, t := range f.Jobs {
+		for _, sp := range t.Root.Children {
+			if sp.Kind == SpanFetch || sp.Kind == SpanOutput {
+				addXfer(sp)
+			}
+		}
+	}
+	for _, sp := range f.Repl {
+		addXfer(sp)
+	}
+	for _, sp := range f.Loose {
+		addXfer(sp)
+	}
+	routes := make([][2]int, 0, len(byRoute))
+	for k := range byRoute {
+		routes = append(routes, k)
+	}
+	sort.Slice(routes, func(i, j int) bool {
+		if routes[i][0] != routes[j][0] {
+			return routes[i][0] < routes[j][0]
+		}
+		return routes[i][1] < routes[j][1]
+	})
+	for ri, k := range routes {
+		pid := linkPIDBase + ri
+		meta(pid, 0, "process_name", fmt.Sprintf("link %d→%d", k[0], k[1]))
+		for lane, spans := range assignLanes(byRoute[k]) {
+			meta(pid, lane, "thread_name", fmt.Sprintf("xfer %d", lane))
+			for _, sp := range spans {
+				var name, cat string
+				switch sp.Kind {
+				case SpanFetch:
+					name, cat = fmt.Sprintf("fetch file %d", sp.File), "fetch"
+				case SpanRepl:
+					name, cat = fmt.Sprintf("repl file %d", sp.File), "repl"
+				default:
+					name, cat = fmt.Sprintf("output job %d", sp.Job), "output"
+				}
+				complete(pid, lane, name, cat, sp)
+			}
+		}
+	}
+
+	// Fault instant markers on each site's process.
+	if l != nil {
+		faultTID := 999
+		named := make(map[int]bool)
+		for _, e := range l.Events() {
+			var name string
+			switch e.Kind {
+			case SiteCrashed, SiteRecovered, CEFailed, CERecovered, ReplicaLost:
+				name = string(e.Kind)
+			default:
+				continue
+			}
+			pid := sitePIDBase + e.Site
+			if !named[e.Site] {
+				named[e.Site] = true
+				meta(pid, 0, "process_name", fmt.Sprintf("site %d", e.Site))
+				meta(pid, faultTID, "thread_name", "faults")
+			}
+			args := map[string]any{}
+			if e.File >= 0 && e.Kind == ReplicaLost {
+				args["file"] = e.File
+			}
+			out.TraceEvents = append(out.TraceEvents, chromeEvent{
+				Name: name, Cat: "fault", Ph: "i", Ts: e.T * usec,
+				Pid: pid, Tid: faultTID, S: "t", Args: args,
+			})
+		}
+	}
+
+	enc := json.NewEncoder(w)
+	return enc.Encode(out)
+}
+
+// assignLanes partitions spans into the minimum number of lanes such
+// that no lane holds two overlapping spans (greedy interval coloring).
+// Spans are ordered by start within each lane.
+func assignLanes(spans []*Span) [][]*Span {
+	ordered := make([]*Span, len(spans))
+	copy(ordered, spans)
+	sortSpans(ordered)
+	var lanes [][]*Span
+	var laneEnd []float64
+	for _, sp := range ordered {
+		placed := false
+		for i := range lanes {
+			if laneEnd[i] <= sp.Start {
+				lanes[i] = append(lanes[i], sp)
+				laneEnd[i] = sp.End
+				placed = true
+				break
+			}
+		}
+		if !placed {
+			lanes = append(lanes, []*Span{sp})
+			laneEnd = append(laneEnd, sp.End)
+		}
+	}
+	return lanes
+}
+
+func sortedKeys(m map[int][]*Span) []int {
+	ks := make([]int, 0, len(m))
+	for k := range m {
+		ks = append(ks, k)
+	}
+	sort.Ints(ks)
+	return ks
+}

@@ -1,0 +1,157 @@
+package trace
+
+// Critical-path analysis over the reconstructed span forest. Two views:
+//
+//   - Per job: the Decomposition already on each JobTree — the four
+//     phases tile [submit, end] exactly, so each job's critical path
+//     through its own span tree is the phase sequence itself.
+//   - Whole DGE: the workload is closed-loop (a user submits job k the
+//     moment job k−1 finishes plus think time), so the causal chain
+//     ending at the globally last completion is that user's job
+//     sequence. Walking it back decomposes the makespan into retry,
+//     data, queue, exec, and slack (think time / submission gaps) that
+//     sum to the chain length exactly.
+
+// CriticalPath is the causal chain of the user whose job finished last,
+// with the chain duration decomposed by phase. Invariant:
+//
+//	Retry + Data + Queue + Exec + Slack = End − Start
+type CriticalPath struct {
+	User  int
+	Jobs  []int // chain members in submission order (abandoned included)
+	Start float64
+	End   float64
+
+	Retry float64 // placement waits, failed attempts, abandoned jobs
+	Data  float64 // final dispatch → data ready
+	Queue float64 // data ready → start
+	Exec  float64 // start → end
+	Slack float64 // gaps between one job's end and the next submit
+}
+
+// Length returns End − Start.
+func (p CriticalPath) Length() float64 { return p.End - p.Start }
+
+// chainStep is one job on a user's closed-loop chain.
+type chainStep struct {
+	job       int
+	submit    float64
+	terminal  float64 // completion or abandonment
+	tree      *JobTree
+	abandoned bool
+}
+
+// CriticalPath computes the whole-DGE critical path. An empty forest
+// returns the zero value.
+func (f *Forest) CriticalPath() CriticalPath {
+	// Find the globally last completion (completed jobs define makespan).
+	var last *JobTree
+	for _, t := range f.Jobs {
+		if last == nil || t.Root.End > last.Root.End ||
+			(t.Root.End == last.Root.End && t.Job > last.Job) {
+			last = t
+		}
+	}
+	if last == nil {
+		return CriticalPath{User: -1}
+	}
+
+	// Collect that user's chain up to the terminal job.
+	var chain []chainStep
+	for _, t := range f.Jobs {
+		if t.User == last.User && t.Root.End <= last.Root.End {
+			chain = append(chain, chainStep{
+				job: t.Job, submit: t.Root.Start, terminal: t.Root.End, tree: t,
+			})
+		}
+	}
+	for _, a := range f.Abandoned {
+		if a.User == last.User && a.Abandoned <= last.Root.End {
+			chain = append(chain, chainStep{
+				job: a.Job, submit: a.Submit, terminal: a.Abandoned, abandoned: true,
+			})
+		}
+	}
+	sortChain(chain)
+
+	p := CriticalPath{User: last.User, Start: chain[0].submit, End: last.Root.End}
+	prevEnd := chain[0].submit
+	for _, step := range chain {
+		p.Jobs = append(p.Jobs, step.job)
+		if gap := step.submit - prevEnd; gap > 0 {
+			p.Slack += gap
+		}
+		if step.abandoned {
+			// The whole occupancy of an abandoned job is retry overhead.
+			p.Retry += step.terminal - step.submit
+		} else {
+			d := step.tree.Decomp
+			p.Retry += d.Retry
+			p.Data += d.Data
+			p.Queue += d.Queue
+			p.Exec += d.Exec
+		}
+		prevEnd = step.terminal
+	}
+	return p
+}
+
+func sortChain(chain []chainStep) {
+	for i := 1; i < len(chain); i++ {
+		for j := i; j > 0 && less(chain[j], chain[j-1]); j-- {
+			chain[j], chain[j-1] = chain[j-1], chain[j]
+		}
+	}
+}
+
+func less(a, b chainStep) bool {
+	if a.submit != b.submit {
+		return a.submit < b.submit
+	}
+	return a.job < b.job
+}
+
+// DecompStats aggregates the per-job decompositions of every completed
+// job: totals, means, and shares of total response time.
+type DecompStats struct {
+	Jobs int
+
+	// Totals (seconds summed over jobs).
+	Retry, Data, Queue, Exec float64
+
+	// Means per job.
+	MeanRetry, MeanData, MeanQueue, MeanExec, MeanResponse float64
+
+	// Shares of Σ response (sum to 1 when Jobs > 0).
+	RetryShare, DataShare, QueueShare, ExecShare float64
+}
+
+// DecompStats computes the aggregate decomposition over f.Jobs.
+func (f *Forest) DecompStats() DecompStats {
+	var s DecompStats
+	for _, t := range f.Jobs {
+		d := t.Decomp
+		s.Retry += d.Retry
+		s.Data += d.Data
+		s.Queue += d.Queue
+		s.Exec += d.Exec
+	}
+	s.Jobs = len(f.Jobs)
+	if s.Jobs == 0 {
+		return s
+	}
+	n := float64(s.Jobs)
+	s.MeanRetry = s.Retry / n
+	s.MeanData = s.Data / n
+	s.MeanQueue = s.Queue / n
+	s.MeanExec = s.Exec / n
+	total := s.Retry + s.Data + s.Queue + s.Exec
+	s.MeanResponse = total / n
+	if total > 0 {
+		s.RetryShare = s.Retry / total
+		s.DataShare = s.Data / total
+		s.QueueShare = s.Queue / total
+		s.ExecShare = s.Exec / total
+	}
+	return s
+}

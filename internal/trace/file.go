@@ -1,0 +1,62 @@
+package trace
+
+import (
+	"compress/gzip"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+)
+
+// Transparent gzip trace I/O: trace files whose names end in ".gz" are
+// compressed on write and decompressed on read, so multi-gigabyte DGE
+// streams stay manageable without a separate pipeline step.
+
+// OpenLog reads and parses the JSONL trace at path, gunzipping
+// transparently when the name ends in ".gz".
+func OpenLog(path string) (*Log, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var r io.Reader = f
+	if strings.HasSuffix(path, ".gz") {
+		zr, err := gzip.NewReader(f)
+		if err != nil {
+			return nil, fmt.Errorf("trace: opening %s: %w", path, err)
+		}
+		defer zr.Close()
+		r = zr
+	}
+	return ReadJSONL(r)
+}
+
+// CreateWriter creates path for trace writing, layering gzip when the
+// name ends in ".gz". Close flushes and closes every layer.
+func CreateWriter(path string) (io.WriteCloser, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	if !strings.HasSuffix(path, ".gz") {
+		return f, nil
+	}
+	return &gzipFileWriter{zw: gzip.NewWriter(f), f: f}, nil
+}
+
+type gzipFileWriter struct {
+	zw *gzip.Writer
+	f  *os.File
+}
+
+func (w *gzipFileWriter) Write(p []byte) (int, error) { return w.zw.Write(p) }
+
+func (w *gzipFileWriter) Close() error {
+	zerr := w.zw.Close()
+	ferr := w.f.Close()
+	if zerr != nil {
+		return zerr
+	}
+	return ferr
+}

@@ -1,0 +1,475 @@
+package trace
+
+import (
+	"fmt"
+	"sort"
+)
+
+// This file reconstructs the causal structure of a DGE from its event
+// stream: a span tree per completed job (placement wait, retry attempts,
+// input fetches, data wait, processor wait, execution, output shipment)
+// plus the asynchronous DS replication spans. The tree makes the paper's
+// §5 response-time story a computable object — see critpath.go for the
+// decomposition aggregates and critical-path walk built on top of it.
+
+// SpanKind classifies one reconstructed interval of attributed activity.
+type SpanKind string
+
+// Span kinds.
+const (
+	SpanJob      SpanKind = "job"       // submit → completion (tree root)
+	SpanDispatch SpanKind = "dispatch"  // submit → first dispatch (batch window)
+	SpanAttempt  SpanKind = "attempt"   // a failed attempt, up to its retry event
+	SpanFetch    SpanKind = "fetch"     // one input transfer on its src→dst route
+	SpanData     SpanKind = "data_wait" // final dispatch → all inputs resident
+	SpanCPU      SpanKind = "cpu_wait"  // data ready → start (CE contention)
+	SpanExec     SpanKind = "exec"      // start → end on a compute element
+	SpanOutput   SpanKind = "output"    // asynchronous output shipment
+	SpanRepl     SpanKind = "repl"      // asynchronous DS replica push
+)
+
+// Span is one interval of the reconstructed execution. Identity fields
+// that do not apply to a kind are -1. Children may overlap in time (an
+// input fetch overlaps the data wait it causes); sibling order is by
+// start time.
+type Span struct {
+	Kind       SpanKind
+	Start, End float64
+	Job        int // owning job; -1 for repl and unattributed transfers
+	File       int // transferred file; -1 for non-transfer spans and outputs
+	Src, Dst   int // transfer route endpoints; -1 for non-transfer spans
+	Site       int // site the span happened at; -1 when not site-bound
+	Bytes      float64
+	// Aborted marks a transfer killed by a fault (explicit abort or a
+	// site crash); End is then the kill time, not a delivery.
+	Aborted  bool
+	Children []*Span
+}
+
+// Duration returns End − Start.
+func (s *Span) Duration() float64 { return s.End - s.Start }
+
+// Decomposition splits a completed job's response time into four phases
+// that tile [submit, end] exactly:
+//
+//	Response = Retry + Data + Queue + Exec
+//
+// Retry covers submit → final dispatch (zero for clean online jobs;
+// batch-window buffering and failed attempts plus backoff otherwise),
+// Data covers final dispatch → data ready, Queue covers data ready →
+// start, and Exec covers start → end. This is the offline mirror of
+// metrics.Decomposition.
+type Decomposition struct {
+	Retry float64
+	Data  float64
+	Queue float64
+	Exec  float64
+}
+
+// Response returns the sum of the four phases.
+func (d Decomposition) Response() float64 { return d.Retry + d.Data + d.Queue + d.Exec }
+
+// JobTree is the reconstructed span tree of one completed job.
+type JobTree struct {
+	Job     int
+	User    int
+	Site    int // final execution site
+	Retries int
+	Root    *Span // SpanJob covering [submit, end]
+	Decomp  Decomposition
+}
+
+// Response returns the job's measured response time (root duration).
+func (t *JobTree) Response() float64 { return t.Root.Duration() }
+
+// AbandonedJob records a job that ran out of retries: it has no span
+// tree (it never completed) but still occupies its user's closed-loop
+// submission chain from submit to abandonment.
+type AbandonedJob struct {
+	Job       int
+	User      int
+	Submit    float64
+	Abandoned float64
+	Retries   int
+}
+
+// Forest is the full causal reconstruction of a DGE.
+type Forest struct {
+	Jobs      []*JobTree     // completed jobs, ascending id
+	Abandoned []AbandonedJob // ascending id
+	Repl      []*Span        // DS replication spans, by push time
+	// Loose holds transfer spans not attributable to a completed job:
+	// fetches credited to an abandoned job or to no job (-1 requester on
+	// restarts with no waiters, pre-attribution traces), and aborted
+	// transfers whose job never finished. They still occupy link tracks.
+	Loose    []*Span
+	Makespan float64
+
+	byJob map[int]*JobTree
+}
+
+// Job returns the span tree for one job id, or nil.
+func (f *Forest) Job(id int) *JobTree { return f.byJob[id] }
+
+// jobBuild accumulates one job's milestones during the event walk.
+type jobBuild struct {
+	job, user, site          int
+	submit, dataReady, start float64
+	end                      float64
+	haveSubmit, haveEnd      bool
+	haveReady, haveStart     bool
+	dispatches               []float64
+	attempts                 []*Span // closed failed attempts
+	fetches                  []*Span
+	outputs                  []*Span
+	retries                  int
+	abandoned                bool
+	abandonT                 float64
+	lastMilestone            float64 // start of the attempt in progress
+}
+
+// flowKey identifies an in-flight transfer during reconstruction.
+type spanFlowKey struct{ file, src, dst int }
+
+// BuildSpans reconstructs the span forest from a trace. The log is
+// sorted as a side effect (Events). Malformed traces — transfer ends
+// without starts, duplicate lifecycle events — return an error.
+func BuildSpans(l *Log) (*Forest, error) {
+	jobs := make(map[int]*jobBuild)
+	get := func(id int) *jobBuild {
+		jb, ok := jobs[id]
+		if !ok {
+			jb = &jobBuild{job: id, user: -1, site: -1, dataReady: -1, lastMilestone: -1}
+			jobs[id] = jb
+		}
+		return jb
+	}
+
+	f := &Forest{byJob: make(map[int]*JobTree)}
+	openFetch := make(map[spanFlowKey][]*Span)
+	openPush := make(map[spanFlowKey][]*Span)
+	openOutput := make(map[[2]int][]*Span) // src,dst → FIFO of output spans
+	crashesAt := make(map[int][]float64)   // site → crash times, ascending
+
+	popFront := func(m map[spanFlowKey][]*Span, k spanFlowKey) *Span {
+		q := m[k]
+		if len(q) == 0 {
+			return nil
+		}
+		sp := q[0]
+		if len(q) == 1 {
+			delete(m, k)
+		} else {
+			m[k] = q[1:]
+		}
+		return sp
+	}
+
+	for i, e := range l.Events() {
+		if e.T < 0 {
+			return nil, fmt.Errorf("trace: event %d at negative time %v", i, e.T)
+		}
+		if e.T > f.Makespan && isJobKind(e.Kind) {
+			f.Makespan = e.T
+		}
+		switch e.Kind {
+		case JobSubmitted:
+			jb := get(e.Job)
+			if jb.haveSubmit {
+				return nil, fmt.Errorf("trace: job %d submitted twice", e.Job)
+			}
+			jb.haveSubmit = true
+			jb.submit = e.T
+			jb.user = e.User
+			jb.lastMilestone = e.T
+		case JobDispatched:
+			jb := get(e.Job)
+			jb.dispatches = append(jb.dispatches, e.T)
+			jb.site = e.Site
+			jb.lastMilestone = e.T
+		case JobDataReady:
+			jb := get(e.Job)
+			jb.haveReady = true
+			jb.dataReady = e.T
+		case JobStarted:
+			jb := get(e.Job)
+			jb.haveStart = true
+			jb.start = e.T
+		case JobCompleted:
+			jb := get(e.Job)
+			if jb.haveEnd {
+				return nil, fmt.Errorf("trace: job %d completed twice", e.Job)
+			}
+			jb.haveEnd = true
+			jb.end = e.T
+		case JobRetried:
+			jb := get(e.Job)
+			start := jb.lastMilestone
+			if start < 0 {
+				start = e.T
+			}
+			jb.attempts = append(jb.attempts, &Span{
+				Kind: SpanAttempt, Start: start, End: e.T,
+				Job: e.Job, File: -1, Src: -1, Dst: -1, Site: e.Site,
+			})
+			jb.retries++
+			jb.lastMilestone = e.T // backoff runs from the failure
+		case JobAbandoned:
+			jb := get(e.Job)
+			jb.abandoned = true
+			jb.abandonT = e.T
+		case FetchStart:
+			sp := &Span{
+				Kind: SpanFetch, Start: e.T, End: -1,
+				Job: e.Job, File: e.File, Src: e.Src, Dst: e.Dst, Site: e.Dst,
+			}
+			openFetch[spanFlowKey{e.File, e.Src, e.Dst}] = append(openFetch[spanFlowKey{e.File, e.Src, e.Dst}], sp)
+		case FetchEnd:
+			sp := popFront(openFetch, spanFlowKey{e.File, e.Src, e.Dst})
+			if sp == nil {
+				return nil, fmt.Errorf("trace: fetch_end without start (file %d %d->%d)", e.File, e.Src, e.Dst)
+			}
+			sp.End = e.T
+			sp.Bytes = e.Bytes
+			if jb, ok := jobs[sp.Job]; ok && sp.Job >= 0 {
+				jb.fetches = append(jb.fetches, sp)
+			} else {
+				f.Loose = append(f.Loose, sp)
+			}
+		case ReplPush:
+			sp := &Span{
+				Kind: SpanRepl, Start: e.T, End: -1,
+				Job: -1, File: e.File, Src: e.Src, Dst: e.Dst, Site: e.Dst,
+			}
+			openPush[spanFlowKey{e.File, e.Src, e.Dst}] = append(openPush[spanFlowKey{e.File, e.Src, e.Dst}], sp)
+			f.Repl = append(f.Repl, sp)
+		case ReplArrive:
+			sp := popFront(openPush, spanFlowKey{e.File, e.Src, e.Dst})
+			if sp == nil {
+				return nil, fmt.Errorf("trace: repl_arrive without push (file %d %d->%d)", e.File, e.Src, e.Dst)
+			}
+			sp.End = e.T
+			sp.Bytes = e.Bytes
+		case OutputStart:
+			sp := &Span{
+				Kind: SpanOutput, Start: e.T, End: -1,
+				Job: e.Job, File: -1, Src: e.Src, Dst: e.Dst, Site: e.Dst,
+			}
+			openOutput[[2]int{e.Src, e.Dst}] = append(openOutput[[2]int{e.Src, e.Dst}], sp)
+		case OutputEnd:
+			k := [2]int{e.Src, e.Dst}
+			q := openOutput[k]
+			// Outputs between the same pair are FIFO per job id; find the
+			// matching job (aborts may have holes).
+			idx := -1
+			for qi, sp := range q {
+				if sp.Job == e.Job {
+					idx = qi
+					break
+				}
+			}
+			if idx < 0 {
+				return nil, fmt.Errorf("trace: output_end without start (job %d %d->%d)", e.Job, e.Src, e.Dst)
+			}
+			sp := q[idx]
+			openOutput[k] = append(q[:idx:idx], q[idx+1:]...)
+			sp.End = e.T
+			sp.Bytes = e.Bytes
+			if jb, ok := jobs[sp.Job]; ok {
+				jb.outputs = append(jb.outputs, sp)
+			} else {
+				f.Loose = append(f.Loose, sp)
+			}
+		case TransferAbort:
+			// Close the matching in-flight transfer at the kill time.
+			var sp *Span
+			if e.File >= 0 {
+				k := spanFlowKey{e.File, e.Src, e.Dst}
+				if sp = popFront(openFetch, k); sp == nil {
+					sp = popFront(openPush, k)
+				}
+			} else if q := openOutput[[2]int{e.Src, e.Dst}]; len(q) > 0 {
+				sp = q[0]
+				openOutput[[2]int{e.Src, e.Dst}] = q[1:]
+			}
+			if sp != nil {
+				sp.End = e.T
+				sp.Aborted = true
+				if sp.Kind != SpanRepl {
+					f.Loose = append(f.Loose, sp)
+				}
+			}
+		case SiteCrashed:
+			crashesAt[e.Site] = append(crashesAt[e.Site], e.T)
+		case Evicted, SiteRecovered, CEFailed, CERecovered, LinkFault, LinkRepair, ReplicaLost:
+			// No span representation (instant markers; see chrome.go).
+		default:
+			return nil, fmt.Errorf("trace: unknown event kind %q", e.Kind)
+		}
+	}
+
+	// Transfers still open at end-of-trace were killed by a site crash
+	// without an explicit abort event (the core cancels them inline).
+	// Close each at the first crash of either endpoint after it started;
+	// drop spans with no such crash (truncated trace).
+	closeOrphan := func(sp *Span) {
+		t, ok := firstCrashAfter(crashesAt, sp.Src, sp.Dst, sp.Start)
+		if !ok {
+			return
+		}
+		sp.End = t
+		sp.Aborted = true
+		if sp.Kind != SpanRepl {
+			f.Loose = append(f.Loose, sp)
+		}
+	}
+	for _, q := range openFetch {
+		for _, sp := range q {
+			closeOrphan(sp)
+		}
+	}
+	for _, q := range openPush {
+		for _, sp := range q {
+			closeOrphan(sp)
+		}
+	}
+	for _, q := range openOutput {
+		for _, sp := range q {
+			closeOrphan(sp)
+		}
+	}
+	// Replication spans that never closed and saw no crash are dropped.
+	kept := f.Repl[:0]
+	for _, sp := range f.Repl {
+		if sp.End >= 0 {
+			kept = append(kept, sp)
+		}
+	}
+	f.Repl = kept
+
+	ids := make([]int, 0, len(jobs))
+	for id := range jobs {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	for _, id := range ids {
+		jb := jobs[id]
+		if !jb.haveSubmit {
+			return nil, fmt.Errorf("trace: job %d has events but no submission", id)
+		}
+		if jb.abandoned {
+			if jb.haveEnd {
+				return nil, fmt.Errorf("trace: job %d both abandoned and completed", id)
+			}
+			f.Abandoned = append(f.Abandoned, AbandonedJob{
+				Job: id, User: jb.user, Submit: jb.submit,
+				Abandoned: jb.abandonT, Retries: jb.retries,
+			})
+			for _, sp := range jb.fetches {
+				f.Loose = append(f.Loose, sp)
+			}
+			for _, sp := range jb.outputs {
+				f.Loose = append(f.Loose, sp)
+			}
+			continue
+		}
+		if !jb.haveEnd || !jb.haveStart || len(jb.dispatches) == 0 {
+			return nil, fmt.Errorf("trace: job %d has an incomplete lifecycle", id)
+		}
+		tree, err := jb.build()
+		if err != nil {
+			return nil, err
+		}
+		f.Jobs = append(f.Jobs, tree)
+		f.byJob[id] = tree
+	}
+	sortSpans(f.Loose)
+	return f, nil
+}
+
+// build assembles the span tree for one completed job.
+func (jb *jobBuild) build() (*JobTree, error) {
+	finalDispatch := jb.dispatches[len(jb.dispatches)-1]
+	ready := jb.dataReady
+	if !jb.haveReady {
+		ready = jb.start // defensive: treat the wait as pure data wait
+	}
+	if jb.submit > finalDispatch || finalDispatch > ready || ready > jb.start || jb.start > jb.end {
+		return nil, fmt.Errorf("trace: job %d lifecycle out of order (%v %v %v %v %v)",
+			jb.job, jb.submit, finalDispatch, ready, jb.start, jb.end)
+	}
+	root := &Span{
+		Kind: SpanJob, Start: jb.submit, End: jb.end,
+		Job: jb.job, File: -1, Src: -1, Dst: -1, Site: jb.site,
+	}
+	if len(jb.dispatches) > 0 && jb.dispatches[0] > jb.submit && jb.retries == 0 {
+		// Pure placement wait (batch-window buffering). On retried jobs
+		// the attempt spans already cover [submit, finalDispatch].
+		root.Children = append(root.Children, &Span{
+			Kind: SpanDispatch, Start: jb.submit, End: jb.dispatches[0],
+			Job: jb.job, File: -1, Src: -1, Dst: -1, Site: -1,
+		})
+	}
+	root.Children = append(root.Children, jb.attempts...)
+	root.Children = append(root.Children, jb.fetches...)
+	if ready > finalDispatch {
+		root.Children = append(root.Children, &Span{
+			Kind: SpanData, Start: finalDispatch, End: ready,
+			Job: jb.job, File: -1, Src: -1, Dst: -1, Site: jb.site,
+		})
+	}
+	if jb.start > ready {
+		root.Children = append(root.Children, &Span{
+			Kind: SpanCPU, Start: ready, End: jb.start,
+			Job: jb.job, File: -1, Src: -1, Dst: -1, Site: jb.site,
+		})
+	}
+	root.Children = append(root.Children, &Span{
+		Kind: SpanExec, Start: jb.start, End: jb.end,
+		Job: jb.job, File: -1, Src: -1, Dst: -1, Site: jb.site,
+	})
+	root.Children = append(root.Children, jb.outputs...)
+	sortSpans(root.Children)
+	return &JobTree{
+		Job: jb.job, User: jb.user, Site: jb.site, Retries: jb.retries,
+		Root: root,
+		Decomp: Decomposition{
+			Retry: finalDispatch - jb.submit,
+			Data:  ready - finalDispatch,
+			Queue: jb.start - ready,
+			Exec:  jb.end - jb.start,
+		},
+	}, nil
+}
+
+// firstCrashAfter returns the earliest crash of either endpoint at or
+// after t.
+func firstCrashAfter(crashes map[int][]float64, src, dst int, t float64) (float64, bool) {
+	best, ok := 0.0, false
+	for _, site := range [2]int{src, dst} {
+		for _, ct := range crashes[site] {
+			if ct >= t && (!ok || ct < best) {
+				best, ok = ct, true
+			}
+		}
+	}
+	return best, ok
+}
+
+// sortSpans orders spans by start time, breaking ties by kind then ids,
+// for deterministic output.
+func sortSpans(spans []*Span) {
+	sort.SliceStable(spans, func(i, j int) bool {
+		a, b := spans[i], spans[j]
+		if a.Start != b.Start {
+			return a.Start < b.Start
+		}
+		if a.Kind != b.Kind {
+			return a.Kind < b.Kind
+		}
+		if a.Job != b.Job {
+			return a.Job < b.Job
+		}
+		return a.File < b.File
+	})
+}

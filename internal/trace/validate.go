@@ -1,0 +1,170 @@
+package trace
+
+import (
+	"fmt"
+)
+
+// ValidateFaults checks the fault-injection event kinds of a trace
+// against the simulator's invariants. It complements Analyze, which
+// validates the job-lifecycle and transfer kinds:
+//
+//   - Site crash/recover strictly alternate per site; no dispatch,
+//     start, completion, or replica loss at a site that went down
+//     strictly earlier and has not recovered (boundary-time events are
+//     allowed: a crash and a completion at the same instant are ordered
+//     arbitrarily in the stream).
+//   - CE failures never exceed repairs + the plausible CE pool; repairs
+//     never outnumber failures.
+//   - Link fault/repair strictly alternate per link id.
+//   - Every transfer_abort matches an in-flight transfer of the same
+//     route (fetch or replication push by file, output shipment by
+//     route).
+//   - job_retried and job_abandoned reference submitted jobs; an
+//     abandoned job never completes.
+//
+// A nil error means the fault stream is consistent.
+func ValidateFaults(l *Log) error {
+	downSince := make(map[int]float64) // site → crash time, while down
+	failedCEs := make(map[int]int)
+	linkDown := make(map[int]bool)
+	openFetch := make(map[spanFlowKey]int)
+	openPush := make(map[spanFlowKey]int)
+	openOutput := make(map[[2]int]int)
+	submitted := make(map[int]bool)
+	retried := make(map[int]bool)
+	abandoned := make(map[int]bool)
+
+	// checkUp rejects activity at a site that went down strictly before t.
+	checkUp := func(site int, t float64, what string, arg int) error {
+		if since, down := downSince[site]; down && since < t {
+			return fmt.Errorf("trace: %s %d at site %d which crashed at %v and has not recovered (t=%v)",
+				what, arg, site, since, t)
+		}
+		return nil
+	}
+
+	for _, e := range l.Events() {
+		switch e.Kind {
+		case SiteCrashed:
+			if _, down := downSince[e.Site]; down {
+				return fmt.Errorf("trace: site %d crashed twice without recovery (t=%v)", e.Site, e.T)
+			}
+			downSince[e.Site] = e.T
+			// Transfers killed by the crash are closed without events;
+			// forget in-flight state involving the site so later aborts
+			// cannot match ghosts. Outbound fetches from surviving master
+			// copies continue, but dropping their count only relaxes the
+			// abort check, never tightens it wrongly.
+			for k := range openFetch {
+				if k.src == e.Site || k.dst == e.Site {
+					delete(openFetch, k)
+				}
+			}
+			for k := range openPush {
+				if k.src == e.Site || k.dst == e.Site {
+					delete(openPush, k)
+				}
+			}
+			for k := range openOutput {
+				if k[0] == e.Site || k[1] == e.Site {
+					delete(openOutput, k)
+				}
+			}
+		case SiteRecovered:
+			if _, down := downSince[e.Site]; !down {
+				return fmt.Errorf("trace: site %d recovered while up (t=%v)", e.Site, e.T)
+			}
+			delete(downSince, e.Site)
+		case CEFailed:
+			if err := checkUp(e.Site, e.T, "ce_failed", e.Site); err != nil {
+				return err
+			}
+			failedCEs[e.Site]++
+		case CERecovered:
+			if failedCEs[e.Site] == 0 {
+				return fmt.Errorf("trace: ce_recovered at site %d with no failed CE (t=%v)", e.Site, e.T)
+			}
+			failedCEs[e.Site]--
+		case LinkFault:
+			if linkDown[e.Src] {
+				return fmt.Errorf("trace: link %d faulted twice without repair (t=%v)", e.Src, e.T)
+			}
+			linkDown[e.Src] = true
+		case LinkRepair:
+			if !linkDown[e.Src] {
+				return fmt.Errorf("trace: link %d repaired while nominal (t=%v)", e.Src, e.T)
+			}
+			delete(linkDown, e.Src)
+		case TransferAbort:
+			if e.File >= 0 {
+				k := spanFlowKey{e.File, e.Src, e.Dst}
+				switch {
+				case openFetch[k] > 0:
+					openFetch[k]--
+				case openPush[k] > 0:
+					openPush[k]--
+				default:
+					return fmt.Errorf("trace: transfer_abort of file %d %d->%d with no matching transfer (t=%v)",
+						e.File, e.Src, e.Dst, e.T)
+				}
+			} else {
+				k := [2]int{e.Src, e.Dst}
+				if openOutput[k] == 0 {
+					return fmt.Errorf("trace: transfer_abort of output %d->%d with no matching shipment (t=%v)",
+						e.Src, e.Dst, e.T)
+				}
+				openOutput[k]--
+			}
+		case ReplicaLost:
+			if err := checkUp(e.Site, e.T, "replica_lost of file", e.File); err != nil {
+				return err
+			}
+		case JobRetried:
+			if !submitted[e.Job] {
+				return fmt.Errorf("trace: job %d retried before submission (t=%v)", e.Job, e.T)
+			}
+			retried[e.Job] = true
+		case JobAbandoned:
+			if !submitted[e.Job] {
+				return fmt.Errorf("trace: job %d abandoned before submission (t=%v)", e.Job, e.T)
+			}
+			if !retried[e.Job] {
+				return fmt.Errorf("trace: job %d abandoned without any retry (t=%v)", e.Job, e.T)
+			}
+			abandoned[e.Job] = true
+
+		case JobSubmitted:
+			submitted[e.Job] = true
+		case JobDispatched:
+			if err := checkUp(e.Site, e.T, "job_dispatched", e.Job); err != nil {
+				return err
+			}
+		case JobCompleted:
+			if abandoned[e.Job] {
+				return fmt.Errorf("trace: job %d completed after abandonment (t=%v)", e.Job, e.T)
+			}
+		case FetchStart:
+			openFetch[spanFlowKey{e.File, e.Src, e.Dst}]++
+		case FetchEnd:
+			k := spanFlowKey{e.File, e.Src, e.Dst}
+			if openFetch[k] > 0 {
+				openFetch[k]--
+			}
+		case ReplPush:
+			openPush[spanFlowKey{e.File, e.Src, e.Dst}]++
+		case ReplArrive:
+			k := spanFlowKey{e.File, e.Src, e.Dst}
+			if openPush[k] > 0 {
+				openPush[k]--
+			}
+		case OutputStart:
+			openOutput[[2]int{e.Src, e.Dst}]++
+		case OutputEnd:
+			k := [2]int{e.Src, e.Dst}
+			if openOutput[k] > 0 {
+				openOutput[k]--
+			}
+		}
+	}
+	return nil
+}
