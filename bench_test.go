@@ -20,6 +20,8 @@ import (
 	"chicsim/internal/experiments"
 	"chicsim/internal/faults"
 	"chicsim/internal/netsim"
+	"chicsim/internal/obs/registry"
+	"chicsim/internal/obs/watchdog"
 	"chicsim/internal/rng"
 	"chicsim/internal/stats"
 	"chicsim/internal/trace"
@@ -438,6 +440,41 @@ func BenchmarkTrace(b *testing.B) {
 				}
 			}
 			b.ReportMetric(float64(events), "events/run")
+		})
+	}
+}
+
+// BenchmarkRegistry measures the cost of the live metrics registry and
+// watchdog on the default scenario: registry-off must match the
+// uninstrumented seed hot path (every handle is a zero-value no-op and no
+// obs tick is scheduled), and registry-on shows the marginal cost of
+// counter hooks on the job lifecycle plus gauge syncs and invariant
+// checks every 60 virtual seconds. Compare the pair across BENCH_*.json
+// entries to keep the "zero cost when disabled" claim measurable.
+func BenchmarkRegistry(b *testing.B) {
+	for _, wired := range []bool{false, true} {
+		wired := wired
+		name := "registry-off"
+		if wired {
+			name = "registry-on"
+		}
+		b.Run(name, func(b *testing.B) {
+			var families int
+			for i := 0; i < b.N; i++ {
+				cfg := core.DefaultConfig()
+				if wired {
+					cfg.ObsInterval = 60
+					cfg.Metrics = registry.New()
+					cfg.Watchdog = watchdog.Fail
+				}
+				if _, err := core.RunConfig(cfg); err != nil {
+					b.Fatal(err)
+				}
+				if wired {
+					families = len(cfg.Metrics.Gather())
+				}
+			}
+			b.ReportMetric(float64(families), "families")
 		})
 	}
 }

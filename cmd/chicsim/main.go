@@ -11,12 +11,17 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
+	"syscall"
 
 	"chicsim/internal/core"
 	"chicsim/internal/netsim"
 	"chicsim/internal/obs"
+	"chicsim/internal/obs/monitor"
+	"chicsim/internal/obs/registry"
+	"chicsim/internal/obs/watchdog"
 	"chicsim/internal/report"
 	"chicsim/internal/trace"
 	"chicsim/internal/workload"
@@ -76,6 +81,7 @@ func main() {
 	listAlgos := flag.Bool("list", false, "list available algorithms and scenarios, then exit")
 	scenario := flag.String("scenario", "", "start from a named preset (see -list); model flags given before -scenario are ignored")
 	heatmap := flag.Bool("heatmap", false, "render a per-site occupancy heatmap of the run")
+	hist := flag.Bool("hist", false, "render the response-time histogram of the run")
 	jsonOut := flag.Bool("json", false, "emit results as JSON instead of text")
 	configPath := flag.String("config", "", "load the model configuration from a JSON file (model flags are then ignored)")
 	saveConfig := flag.String("save-config", "", "write the effective configuration to this file and exit")
@@ -183,6 +189,46 @@ func main() {
 	if obsFlags.SeriesPath != "" || obsFlags.StreamPath != "" {
 		cfg.ObsInterval = obsFlags.SeriesInterval
 	}
+
+	// Live control plane: a metrics registry when anything wants to read
+	// it, a watchdog when asked for. Both need the obs tick.
+	wdMode, err := watchdog.ParseMode(obsFlags.WatchdogMode)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "chicsim:", err)
+		os.Exit(2)
+	}
+	var reg *registry.Registry
+	if obsFlags.ListenAddr != "" || obsFlags.MetricsPath != "" {
+		reg = registry.New()
+		cfg.Metrics = reg
+	}
+	cfg.Watchdog = wdMode
+	if (reg != nil || wdMode != watchdog.Off) && cfg.ObsInterval == 0 {
+		cfg.ObsInterval = obsFlags.SeriesInterval
+	}
+	var srv *monitor.Server
+	if obsFlags.ListenAddr != "" {
+		srv, err = monitor.Start(obsFlags.ListenAddr, reg, func() any {
+			return map[string]any{
+				"command": "chicsim", "seed": cfg.Seed,
+				"es": cfg.ES, "ls": cfg.LS, "ds": cfg.DS,
+			}
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "chicsim:", err)
+			os.Exit(1)
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "chicsim: monitor listening on http://%s (/metrics /status /events)\n", srv.Addr())
+	}
+	if wdMode != watchdog.Off {
+		cfg.OnViolation = func(v watchdog.Violation) {
+			fmt.Fprintln(os.Stderr, "chicsim: watchdog:", v)
+			if srv != nil {
+				srv.Publish("violation", v)
+			}
+		}
+	}
 	streamSink, closeStream, err := obsFlags.OpenStreamSink()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "chicsim:", err)
@@ -223,6 +269,33 @@ func main() {
 		fmt.Fprintln(os.Stderr, "chicsim:", err)
 		os.Exit(1)
 	}
+
+	// On SIGINT/SIGTERM, flush every open artifact (sample stream, trace,
+	// manifest marked interrupted) before exiting, so a cancelled run still
+	// leaves usable partial output. A second signal force-kills.
+	sigc := make(chan os.Signal, 2)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		<-sigc
+		fmt.Fprintln(os.Stderr, "chicsim: interrupted; flushing partial output")
+		if closeStream != nil {
+			closeStream()
+		}
+		if closeTrace != nil {
+			closeTrace()
+		}
+		if manifest != nil {
+			manifest.MarkInterrupted()
+			manifest.Finish()
+			if err := manifest.WriteFile(obsFlags.ManifestPath); err != nil {
+				fmt.Fprintln(os.Stderr, "chicsim:", err)
+			}
+		}
+		if srv != nil {
+			srv.Close()
+		}
+		os.Exit(130)
+	}()
 
 	res, err := core.RunConfig(cfg)
 	if perr := stopProfiling(); perr != nil {
@@ -269,6 +342,22 @@ func main() {
 			os.Exit(1)
 		}
 	}
+	if obsFlags.MetricsPath != "" {
+		f, err := os.Create(obsFlags.MetricsPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "chicsim:", err)
+			os.Exit(1)
+		}
+		werr := registry.WritePrometheus(f, reg.Gather())
+		if cerr := f.Close(); werr == nil {
+			werr = cerr
+		}
+		if werr != nil {
+			fmt.Fprintln(os.Stderr, "chicsim:", werr)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "chicsim: wrote metrics snapshot to %s\n", obsFlags.MetricsPath)
+	}
 	if *jsonOut {
 		res.Samples = nil // keep the JSON compact
 		enc := json.NewEncoder(os.Stdout)
@@ -280,6 +369,10 @@ func main() {
 		return
 	}
 	printResults(res)
+	if *hist {
+		fmt.Println()
+		report.ResponseHistogram(os.Stdout, res.RespHistCounts, res.RespHistEdges, 60)
+	}
 	if *heatmap {
 		fmt.Println()
 		report.Heatmap(os.Stdout, res.Samples, 100)
@@ -309,6 +402,9 @@ func printResults(r core.Results) {
 			r.Faults.TransfersAborted, r.Faults.ReplicasLost, r.Faults.Repairs)
 		fmt.Printf("fault recovery:        %d retries, %d jobs abandoned, %d fetches restarted, %d replicas restored\n",
 			r.JobsRetried, r.JobsFailed, r.TransfersRestarted, r.ReplicasRestored)
+	}
+	if r.WatchdogViolations > 0 {
+		fmt.Printf("watchdog:              %d invariant violations\n", r.WatchdogViolations)
 	}
 	fmt.Printf("simulation:            %d events, virtual end %.0f s\n", r.SimEvents, r.SimEndTime)
 }

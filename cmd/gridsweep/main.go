@@ -4,23 +4,32 @@
 //
 // Usage:
 //
-//	gridsweep            # full campaign, all figures
-//	gridsweep -fig 3a    # just one figure's table
-//	gridsweep -csv       # machine-readable rows for plotting
-//	gridsweep -quick     # reduced workload for a fast shape check
-//	gridsweep -list      # print the Table 1 configuration and exit
+//	gridsweep                  # full campaign, all figures
+//	gridsweep -fig 3a          # just one figure's table
+//	gridsweep -csv             # machine-readable rows for plotting
+//	gridsweep -quick           # reduced workload for a fast shape check
+//	gridsweep -list            # print the Table 1 configuration and exit
+//	gridsweep -jsonl out.jsonl # stream each finished cell to a JSONL file
+//	gridsweep -from-jsonl f    # regenerate reports from a streamed file
+//	gridsweep -listen :8080    # live /metrics, /status, /events while running
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
+	"sync"
+	"syscall"
 
 	"chicsim/internal/core"
 	"chicsim/internal/experiments"
 	"chicsim/internal/obs"
+	"chicsim/internal/obs/monitor"
+	"chicsim/internal/obs/registry"
+	"chicsim/internal/obs/watchdog"
 	"chicsim/internal/report"
 )
 
@@ -35,6 +44,8 @@ func main() {
 	workers := flag.Int("workers", 0, "parallel simulations (0 = GOMAXPROCS)")
 	list := flag.Bool("list", false, "print the Table 1 configuration and exit")
 	progressJSONL := flag.String("progress-jsonl", "", "stream per-simulation progress records to this JSONL file")
+	jsonlPath := flag.String("jsonl", "", "stream each completed cell's result to this JSONL file as the campaign runs")
+	fromJSONL := flag.String("from-jsonl", "", "skip the campaign and regenerate reports from a previously streamed -jsonl file")
 	obsFlags := obs.BindFlags(flag.CommandLine)
 	flag.Parse()
 
@@ -52,6 +63,31 @@ func main() {
 		printTable1(base)
 		return
 	}
+
+	var mtbfs []float64
+	if *fig == "faults" {
+		for _, part := range strings.Split(*siteMTBFs, ",") {
+			v, err := strconv.ParseFloat(strings.TrimSpace(part), 64)
+			if err != nil || v < 0 {
+				fmt.Fprintf(os.Stderr, "gridsweep: bad -site-mtbf value %q\n", part)
+				os.Exit(2)
+			}
+			mtbfs = append(mtbfs, v)
+		}
+	}
+
+	if *fromJSONL != "" {
+		results, err := experiments.ReadStreamFile(*fromJSONL)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "gridsweep:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "gridsweep: rebuilding reports from %d streamed cells in %s\n",
+			len(results), *fromJSONL)
+		render(results, *fig, *csv, *md, mtbfs)
+		return
+	}
+
 	if *quick {
 		base.TotalJobs = 1500
 		*seeds = 1
@@ -62,7 +98,6 @@ func main() {
 		seedList = append(seedList, uint64(s))
 	}
 
-	var mtbfs []float64
 	var cells []experiments.Cell
 	switch *fig {
 	case "3a", "3b", "4":
@@ -70,14 +105,6 @@ func main() {
 	case "5":
 		cells = experiments.Figure5Cells()
 	case "faults":
-		for _, part := range strings.Split(*siteMTBFs, ",") {
-			v, err := strconv.ParseFloat(strings.TrimSpace(part), 64)
-			if err != nil || v < 0 {
-				fmt.Fprintf(os.Stderr, "gridsweep: bad -site-mtbf value %q\n", part)
-				os.Exit(2)
-			}
-			mtbfs = append(mtbfs, v)
-		}
 		base.Faults.SiteCrash.MTTR = *faultMTTR
 		base.Faults.RequeueOnRecovery = true
 		base.Faults.RestoreReplicas = true
@@ -119,20 +146,149 @@ func main() {
 		os.Exit(1)
 	}
 
+	// Live control plane: shared metrics registry, invariant watchdog,
+	// optional HTTP monitor with per-cell campaign state.
+	wdMode, err := watchdog.ParseMode(obsFlags.WatchdogMode)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "gridsweep:", err)
+		os.Exit(2)
+	}
+	var reg *registry.Registry
+	if obsFlags.ListenAddr != "" || obsFlags.MetricsPath != "" {
+		reg = registry.New()
+	}
+
+	type cellState struct {
+		RunsDone int    `json:"runs_done"`
+		RunsOK   int    `json:"runs_ok"`
+		Err      string `json:"err,omitempty"`
+	}
+	var stateMu sync.Mutex
+	cellStates := make(map[string]*cellState, len(cells))
+	for _, c := range cells {
+		cellStates[c.String()] = &cellState{}
+	}
+
+	var srv *monitor.Server
+	if obsFlags.ListenAddr != "" {
+		srv, err = monitor.Start(obsFlags.ListenAddr, reg, func() any {
+			stateMu.Lock()
+			cellsCopy := make(map[string]cellState, len(cellStates))
+			for k, v := range cellStates {
+				cellsCopy[k] = *v
+			}
+			stateMu.Unlock()
+			return struct {
+				Progress obs.Snapshot         `json:"progress"`
+				Seeds    []uint64             `json:"seeds"`
+				RunsPer  int                  `json:"runs_per_cell"`
+				Cells    map[string]cellState `json:"cells"`
+			}{progress.Snapshot(), seedList, len(seedList), cellsCopy}
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "gridsweep:", err)
+			os.Exit(1)
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "gridsweep: monitor listening on http://%s (/metrics /status /events)\n", srv.Addr())
+	}
+
+	var stream *experiments.StreamWriter
+	if *jsonlPath != "" {
+		stream, err = experiments.CreateStream(*jsonlPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "gridsweep:", err)
+			os.Exit(1)
+		}
+	}
+
+	// On SIGINT/SIGTERM, flush the streamed results and write the manifest
+	// marked interrupted: every cell finished so far stays usable
+	// (`gridsweep -from-jsonl` rebuilds the reports from them).
+	sigc := make(chan os.Signal, 2)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		<-sigc
+		fmt.Fprintln(os.Stderr, "gridsweep: interrupted; flushing partial results")
+		if stream != nil {
+			stream.Close()
+		}
+		if manifest != nil {
+			manifest.MarkInterrupted()
+			manifest.SetExtra("workers", *workers)
+			manifest.Finish()
+			if err := manifest.WriteFile(obsFlags.ManifestPath); err != nil {
+				fmt.Fprintln(os.Stderr, "gridsweep:", err)
+			}
+		}
+		if srv != nil {
+			srv.Close()
+		}
+		os.Exit(130)
+	}()
+
 	campaign := experiments.Campaign{
 		Base:     base,
 		Cells:    cells,
 		Seeds:    seedList,
 		Workers:  *workers,
 		Progress: progress,
+		Metrics:  reg,
+		Watchdog: wdMode,
+		OnRunDone: func(cell experiments.Cell, seed uint64, rerr error) {
+			stateMu.Lock()
+			cs := cellStates[cell.String()]
+			cs.RunsDone++
+			if rerr != nil {
+				cs.Err = rerr.Error()
+			} else {
+				cs.RunsOK++
+			}
+			stateMu.Unlock()
+			if srv != nil {
+				srv.Publish("run_done", map[string]any{"cell": cell.String(), "seed": seed})
+			}
+		},
+		OnCellDone: func(cr *experiments.CellResult) {
+			if stream != nil {
+				if werr := stream.Write(experiments.RecordOf(cr)); werr != nil {
+					fmt.Fprintln(os.Stderr, "gridsweep:", werr)
+				}
+			}
+			if srv != nil {
+				srv.Publish("cell_done", map[string]any{
+					"cell": cr.Cell.String(), "avg_response_s": cr.AvgResponseSec,
+				})
+			}
+		},
+	}
+	if wdMode != watchdog.Off {
+		campaign.OnViolation = func(cell experiments.Cell, seed uint64, v watchdog.Violation) {
+			fmt.Fprintf(os.Stderr, "gridsweep: watchdog: %v seed=%d: %v\n", cell, seed, v)
+			if srv != nil {
+				srv.Publish("violation", map[string]any{
+					"cell": cell.String(), "seed": seed, "violation": v.String(),
+				})
+			}
+		}
 	}
 	if obsFlags.SeriesPath != "" {
+		campaign.ObsInterval = obsFlags.SeriesInterval
+	}
+	if (reg != nil || wdMode != watchdog.Off) && campaign.ObsInterval == 0 && base.ObsInterval == 0 {
 		campaign.ObsInterval = obsFlags.SeriesInterval
 	}
 	results := experiments.Run(campaign)
 	progress.Finish()
 	if perr := stopProfiling(); perr != nil {
 		fmt.Fprintln(os.Stderr, "gridsweep:", perr)
+	}
+	if stream != nil {
+		if cerr := stream.Close(); cerr != nil {
+			fmt.Fprintln(os.Stderr, "gridsweep:", cerr)
+		} else {
+			fmt.Fprintf(os.Stderr, "gridsweep: streamed %d cells to %s\n", len(results), *jsonlPath)
+		}
 	}
 	for i := range results {
 		if results[i].Err != nil {
@@ -141,6 +297,12 @@ func main() {
 	}
 	if obsFlags.SeriesPath != "" {
 		writeReferenceSeries(results, obsFlags.SeriesPath)
+	}
+	if obsFlags.MetricsPath != "" {
+		if err := writeMetricsSnapshot(reg, obsFlags.MetricsPath); err != nil {
+			fmt.Fprintln(os.Stderr, "gridsweep:", err)
+			os.Exit(1)
+		}
 	}
 	if manifest != nil {
 		manifest.SetExtra("workers", *workers)
@@ -151,14 +313,20 @@ func main() {
 		}
 	}
 
-	if *csv {
+	render(results, *fig, *csv, *md, mtbfs)
+}
+
+// render writes the requested report for results, whether they came from a
+// live campaign or a -from-jsonl stream.
+func render(results []experiments.CellResult, fig string, csv, md bool, mtbfs []float64) {
+	if csv {
 		report.CSV(os.Stdout, results)
 		return
 	}
 	esNames := core.PaperExternalNames()
 	dsNames := core.PaperDatasetNames()
-	if *md {
-		for _, fig := range []struct {
+	if md {
+		for _, f := range []struct {
 			title string
 			m     report.Metric
 		}{
@@ -166,8 +334,8 @@ func main() {
 			{"Figure 3b", report.DataTransferred},
 			{"Figure 4", report.IdleTime},
 		} {
-			fmt.Printf("### %s\n\n", fig.title)
-			report.MarkdownGrid(os.Stdout, results, fig.m, esNames, dsNames, 10)
+			fmt.Printf("### %s\n\n", f.title)
+			report.MarkdownGrid(os.Stdout, results, f.m, esNames, dsNames, 10)
 			fmt.Println()
 		}
 		fmt.Printf("### Response-time decomposition\n\n")
@@ -175,7 +343,7 @@ func main() {
 		fmt.Println()
 		return
 	}
-	switch *fig {
+	switch fig {
 	case "faults":
 		printFaultTable(results, mtbfs)
 	case "3a":
@@ -195,13 +363,40 @@ func main() {
 		report.Grid(os.Stdout, results, report.IdleTime, esNames, dsNames, 10)
 		fmt.Println("\n=== Figure 5 ===")
 		report.Bandwidths(os.Stdout, results, esNames, "DataLeastLoaded", []float64{10, 100})
-		if len(seedList) >= 2 {
+		if maxRuns(results) >= 2 {
 			fmt.Println("\n=== §5.3 significance check ===")
 			report.Significance(os.Stdout, results,
 				experiments.Cell{ES: "JobDataPresent", DS: "DataRandom", BandwidthMBps: 10},
 				experiments.Cell{ES: "JobDataPresent", DS: "DataLeastLoaded", BandwidthMBps: 10})
 		}
 	}
+}
+
+// maxRuns returns the largest per-cell run count (seed replications).
+func maxRuns(results []experiments.CellResult) int {
+	m := 0
+	for i := range results {
+		if n := len(results[i].Runs); n > m {
+			m = n
+		}
+	}
+	return m
+}
+
+// writeMetricsSnapshot dumps the campaign registry as Prometheus text.
+func writeMetricsSnapshot(reg *registry.Registry, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	werr := registry.WritePrometheus(f, reg.Gather())
+	if cerr := f.Close(); werr == nil {
+		werr = cerr
+	}
+	if werr == nil {
+		fmt.Fprintf(os.Stderr, "gridsweep: wrote metrics snapshot to %s\n", path)
+	}
+	return werr
 }
 
 // printFaultTable renders the degraded-grid sweep: one row per scheduler

@@ -103,6 +103,19 @@ func (c *Catalog) HasReplica(f storage.FileID, site topology.SiteID) bool {
 // ReplicaCount returns the number of sites holding f.
 func (c *Catalog) ReplicaCount(f storage.FileID) int { return len(c.locations[f]) }
 
+// CountAt returns how many distinct files the catalog believes are
+// replicated at the given site. The watchdog compares this against the
+// site store's own resident count to catch accounting drift.
+func (c *Catalog) CountAt(site topology.SiteID) int {
+	n := 0
+	for _, sites := range c.locations {
+		if sites[site] {
+			n++
+		}
+	}
+	return n
+}
+
 // Closest returns the replica site nearest to `from` by hop count, with
 // ties broken by lowest site id. ok is false when no replica exists.
 func (c *Catalog) Closest(f storage.FileID, from topology.SiteID, topo *topology.Topology) (topology.SiteID, bool) {

@@ -12,6 +12,8 @@ import (
 	"chicsim/internal/faults"
 	"chicsim/internal/netsim"
 	"chicsim/internal/obs"
+	"chicsim/internal/obs/registry"
+	"chicsim/internal/obs/watchdog"
 	"chicsim/internal/trace"
 	"chicsim/internal/workload"
 )
@@ -210,6 +212,27 @@ type Config struct {
 	// on disk while the run is still going — without changing the
 	// in-memory Series the run returns. See obs.NewJSONLSink/NewCSVSink.
 	ObsSink obs.Sink `json:"-"`
+
+	// Metrics, when non-nil, attaches the live metrics registry
+	// (internal/obs/registry): job/fault counters update inline at their
+	// hook points, gauges and per-site response histograms sync on the
+	// ObsInterval tick, and an HTTP monitor can scrape the registry while
+	// the run (or a whole campaign sharing one registry) is going.
+	// Requires ObsInterval > 0. Attaching never perturbs Results.
+	Metrics *registry.Registry `json:"-"`
+
+	// Watchdog, when not Off, runs online invariant checks every
+	// ObsInterval tick (internal/obs/watchdog): job conservation, replica
+	// vs. storage accounting, link capacity, virtual-time monotonicity.
+	// Warn logs violations into Results.WatchdogViolations; Fail stops
+	// the run at the first violating tick and Run returns the violation
+	// as its error. Requires ObsInterval > 0.
+	Watchdog watchdog.Mode `json:"watchdog,omitempty"`
+
+	// OnViolation, when non-nil (and Watchdog enabled), observes every
+	// watchdog violation as it is found — the monitor streams these as
+	// SSE events. Called from the simulation goroutine.
+	OnViolation func(watchdog.Violation) `json:"-"`
 }
 
 // DefaultConfig returns the paper's Table 1 scenario 1 with the documented
@@ -276,6 +299,10 @@ func (c *Config) Validate() error {
 		return fmt.Errorf("core: OutputFraction = %v", c.OutputFraction)
 	case c.ObsInterval < 0:
 		return fmt.Errorf("core: ObsInterval = %v", c.ObsInterval)
+	case c.Metrics != nil && c.ObsInterval == 0:
+		return fmt.Errorf("core: Metrics registry requires ObsInterval > 0 (gauges sync on the obs tick)")
+	case c.Watchdog != watchdog.Off && c.ObsInterval == 0:
+		return fmt.Errorf("core: Watchdog %v requires ObsInterval > 0 (checks run on the obs tick)", c.Watchdog)
 	}
 	if err := c.Faults.Validate(); err != nil {
 		return err

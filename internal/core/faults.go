@@ -180,8 +180,13 @@ func (s *Simulation) failJob(j *job.Job, at topology.SiteID) {
 		return
 	}
 	s.jobsRetried++
+	s.lm.jobsRetried.Inc()
+	s.retryPending++
 	s.rec.Record(trace.Event{T: s.eng.Now(), Kind: trace.JobRetried, Job: int(j.ID), Site: int(at)})
-	s.eng.Schedule(s.retry.Delay(j.Retries), func() { s.redispatch(j) })
+	s.eng.Schedule(s.retry.Delay(j.Retries), func() {
+		s.retryPending--
+		s.redispatch(j)
+	})
 }
 
 // redispatch re-places a failed job after its backoff. The wrapped ES
@@ -206,6 +211,7 @@ func (s *Simulation) redispatch(j *job.Job) {
 		return
 	}
 	s.dispatches++
+	s.lm.dispatches.Inc()
 	s.rec.Record(trace.Event{T: s.eng.Now(), Kind: trace.JobDispatched, Job: int(j.ID), Site: int(target)})
 	s.sites[target].Enqueue(j)
 }
@@ -215,6 +221,7 @@ func (s *Simulation) redispatch(j *job.Job) {
 // their next one — and the job counts toward the finish condition.
 func (s *Simulation) jobAbandoned(j *job.Job) {
 	s.jobsFailed++
+	s.lm.jobsAbandoned.Inc()
 	s.rec.Record(trace.Event{T: s.eng.Now(), Kind: trace.JobAbandoned, Job: int(j.ID), User: int(j.User)})
 	if s.workloadSettled() {
 		return

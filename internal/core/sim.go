@@ -11,6 +11,7 @@ import (
 	"chicsim/internal/metrics"
 	"chicsim/internal/netsim"
 	"chicsim/internal/obs"
+	"chicsim/internal/obs/watchdog"
 	"chicsim/internal/rng"
 	"chicsim/internal/scheduler"
 	"chicsim/internal/scheduler/es"
@@ -61,6 +62,11 @@ type Results struct {
 	// Config.ObsInterval is set (see report.SeriesCSV). Excluded from
 	// JSON results; render it with the report package instead.
 	Series *obs.Series `json:"-"`
+
+	// WatchdogViolations counts online invariant violations observed by
+	// the watchdog over the run (0 when the watchdog is off or the run
+	// was healthy; see Config.Watchdog).
+	WatchdogViolations int `json:"watchdog_violations,omitempty"`
 
 	// Fault-injection outcome (all zero on failure-free runs). Faults
 	// counts what the injector did to the grid; the recovery counters
@@ -115,6 +121,16 @@ type Simulation struct {
 
 	probes      *obs.Registry            // nil unless cfg.ObsInterval > 0
 	idleWindows []map[storage.FileID]int // per site: consecutive access-free DS windows
+
+	// Live control plane (see livemetrics.go). lm's handles are no-ops
+	// when lmOn is false; wd is nil when the watchdog is off.
+	lm            simMetrics
+	lmOn          bool
+	wd            *watchdog.Watchdog
+	wdErr         error
+	jobsSubmitted int // jobs entered into the system (the conservation ledger's left side)
+	retryPending  int // failed jobs waiting out a retry backoff
+	wdSkewDone    int // test hook: seeds a deliberate conservation violation
 
 	// Fault injection (see faults.go in this package). All nil/zero
 	// unless cfg.Faults enables at least one fault class.
@@ -379,6 +395,13 @@ func New(cfg Config) (*Simulation, error) {
 		s.registerProbes()
 		s.probes.StreamTo(cfg.ObsSink)
 	}
+	if cfg.Metrics != nil {
+		s.lmOn = true
+		s.registerMetrics(cfg.Metrics)
+	}
+	if s.wd = newWatchdog(cfg); s.wd != nil {
+		s.registerWatchdog()
+	}
 	return s, nil
 }
 
@@ -496,6 +519,11 @@ func (s *Simulation) Run() (Results, error) {
 	if s.fcfg.Enabled() {
 		s.injector = faults.Attach(s.eng, s.fcfg, s.faultRoot, faultOps{s},
 			func() bool { return !s.finished })
+		if s.lmOn {
+			s.injector.SetObserver(func(class string) {
+				s.lm.faultsByClass.With(class).Inc()
+			})
+		}
 	}
 
 	if s.cfg.ArrivalRate > 0 {
@@ -523,6 +551,9 @@ func (s *Simulation) Run() (Results, error) {
 	}
 	if s.probes != nil {
 		s.probes.Attach(s.eng, s.cfg.ObsInterval, func() bool { return !s.finished })
+	}
+	if s.lmOn || s.wd != nil {
+		s.attachControlPlane()
 	}
 	if s.batch != nil {
 		s.eng.Schedule(s.cfg.BatchWindow, s.flushBatch)
@@ -639,6 +670,10 @@ func (s *Simulation) Run() (Results, error) {
 	if nAcc > 0 {
 		r.AccessLinkUtil /= float64(nAcc)
 	}
+	s.finishControlPlane(&r)
+	if s.wdErr != nil {
+		return r, s.wdErr
+	}
 	if !s.finished && s.cfg.MaxTime <= 0 {
 		return r, fmt.Errorf("core: engine drained with %d/%d jobs accounted for (deadlock?)",
 			s.jobsDone+s.jobsFailed, s.totalJobs)
@@ -663,6 +698,8 @@ func (s *Simulation) submitNext(u job.UserID) {
 	spec := specs[idx]
 	j := job.New(spec.ID, u, s.wl.UserHome[u], spec.Inputs, spec.Compute)
 	j.Advance(job.Submitted, s.eng.Now())
+	s.jobsSubmitted++
+	s.lm.jobsSubmitted.Inc()
 	s.rec.Record(trace.Event{T: s.eng.Now(), Kind: trace.JobSubmitted, Job: int(j.ID), User: int(u)})
 	if s.batch != nil {
 		s.batchBuf = append(s.batchBuf, j)
@@ -683,6 +720,7 @@ func (s *Simulation) submitNext(u job.UserID) {
 		return
 	}
 	s.dispatches++
+	s.lm.dispatches.Inc()
 	s.rec.Record(trace.Event{T: s.eng.Now(), Kind: trace.JobDispatched, Job: int(j.ID), Site: int(target)})
 	s.sites[target].Enqueue(j)
 }
@@ -700,6 +738,10 @@ func (s *Simulation) jobDone(j *job.Job) {
 	s.rec.Record(trace.Event{T: j.EndTime, Kind: trace.JobCompleted, Job: int(j.ID), Site: int(j.Site), User: int(j.User)})
 	s.shipOutput(j)
 	s.jobsDone++
+	s.lm.jobsDone.Inc()
+	if s.lm.respBySite != nil {
+		s.lm.respBySite[j.Site].Observe(float64(j.ResponseTime()))
+	}
 	if s.workloadSettled() {
 		return
 	}
@@ -798,6 +840,7 @@ func (s *Simulation) flushBatch() {
 				continue
 			}
 			s.dispatches++
+			s.lm.dispatches.Inc()
 			s.rec.Record(trace.Event{T: s.eng.Now(), Kind: trace.JobDispatched, Job: int(j.ID), Site: int(t)})
 			s.sites[t].Enqueue(j)
 		}
@@ -914,6 +957,7 @@ func (s *Simulation) pushReplica(from topology.SiteID, rep scheduler.Replication
 	}
 	s.pushesInFlight[key] = true
 	s.replications++
+	s.lm.replications.Inc()
 	s.rec.Record(trace.Event{
 		T: s.eng.Now(), Kind: trace.ReplPush,
 		File: int(rep.File), Src: int(from), Dst: int(rep.Target),

@@ -17,6 +17,8 @@ import (
 
 	"chicsim/internal/core"
 	"chicsim/internal/obs"
+	"chicsim/internal/obs/registry"
+	"chicsim/internal/obs/watchdog"
 	"chicsim/internal/stats"
 )
 
@@ -119,6 +121,45 @@ type Campaign struct {
 	// done/total, sims/sec, ETA, worker occupancy) as workers pick up
 	// and finish simulations. May be nil.
 	Progress *obs.Progress
+
+	// Metrics, when non-nil, is shared by every simulation in the
+	// campaign: counters and histograms merge deterministically across
+	// workers (the updates commute); gauges are last-write-wins between
+	// concurrently running simulations. The runner adds its own
+	// campaign_runs_total / campaign_cells_total counters. Requires an
+	// effective ObsInterval > 0 (here or in Base), or every run errors.
+	Metrics *registry.Registry
+
+	// Watchdog applies the given invariant-check mode to every run; a
+	// Fail-mode violation surfaces as that cell's Err. Requires an
+	// effective ObsInterval > 0.
+	Watchdog watchdog.Mode
+
+	// OnViolation, when non-nil, observes watchdog violations from any
+	// run. Called concurrently from worker goroutines.
+	OnViolation func(cell Cell, seed uint64, v watchdog.Violation)
+
+	// OnRunStart, when non-nil, is called as a worker picks up a run.
+	// Called concurrently from worker goroutines.
+	OnRunStart func(cell Cell, seed uint64)
+
+	// OnRunDone, when non-nil, observes every finished run. Calls are
+	// serialized in the collector goroutine (safe for unsynchronized
+	// sinks), but their order across cells is scheduling-dependent.
+	OnRunDone func(cell Cell, seed uint64, err error)
+
+	// OnCellDone, when non-nil, receives each cell the moment its last
+	// seed finishes, fully aggregated with Runs sorted by seed. Calls
+	// are serialized in the collector goroutine — the JSONL streaming
+	// hook. Cell completion order is scheduling-dependent; the slice
+	// Run returns is always in campaign cell order.
+	OnCellDone func(*CellResult)
+
+	// DropRuns releases each cell's per-run Results right after the
+	// cell aggregates (and OnCellDone observes it), bounding campaign
+	// memory to in-flight cells instead of the whole result matrix.
+	// Aggregates and Err survive; Runs come back nil.
+	DropRuns bool
 }
 
 // PaperSeeds are the default three seed replications ("within each set of
@@ -192,6 +233,7 @@ func Run(c Campaign) []CellResult {
 	}
 	type outcome struct {
 		cell int
+		seed uint64
 		res  core.Results
 		err  error
 	}
@@ -218,10 +260,19 @@ func Run(c Campaign) []CellResult {
 				if c.ObsInterval > 0 {
 					cfg.ObsInterval = c.ObsInterval
 				}
+				cfg.Metrics = c.Metrics
+				cfg.Watchdog = c.Watchdog
+				if c.OnViolation != nil {
+					cell, seed := c.Cells[t.cell], t.seed
+					cfg.OnViolation = func(v watchdog.Violation) { c.OnViolation(cell, seed, v) }
+				}
+				if c.OnRunStart != nil {
+					c.OnRunStart(c.Cells[t.cell], t.seed)
+				}
 				c.Progress.RunStart()
 				res, err := core.RunConfig(cfg)
 				c.Progress.RunDone(fmt.Sprintf("%v seed=%d", c.Cells[t.cell], t.seed))
-				outcomes <- outcome{cell: t.cell, res: res, err: err}
+				outcomes <- outcome{cell: t.cell, seed: t.seed, res: res, err: err}
 			}
 		}()
 	}
@@ -236,25 +287,54 @@ func Run(c Campaign) []CellResult {
 		close(outcomes)
 	}()
 
+	var runsOK, runsErr, cellsDone registry.Counter
+	if c.Metrics != nil {
+		rt := c.Metrics.Counter("campaign_runs_total",
+			"Simulations finished by the campaign runner, by outcome.", "status")
+		runsOK, runsErr = rt.With("ok"), rt.With("error")
+		cellsDone = c.Metrics.Counter("campaign_cells_total",
+			"Campaign cells fully completed (all seeds in).").With()
+	}
+
 	results := make([]CellResult, len(c.Cells))
+	pending := make([]int, len(c.Cells))
 	for i := range results {
 		results[i].Cell = c.Cells[i]
+		pending[i] = len(c.Seeds)
 	}
+	// The collector (this loop) is the only goroutine touching results,
+	// so every callback fired here runs serialized.
 	for o := range outcomes {
 		cr := &results[o.cell]
-		if o.err != nil && cr.Err == nil {
-			cr.Err = o.err
-			continue
+		if o.err != nil {
+			if cr.Err == nil {
+				cr.Err = o.err
+			}
+			runsErr.Inc()
+		} else {
+			cr.Runs = append(cr.Runs, o.res)
+			runsOK.Inc()
 		}
-		cr.Runs = append(cr.Runs, o.res)
-	}
-	for i := range results {
-		// Seed order within a cell is nondeterministic from the channel;
-		// sort for stable reports.
-		sort.Slice(results[i].Runs, func(a, b int) bool {
-			return results[i].Runs[a].Seed < results[i].Runs[b].Seed
-		})
-		results[i].aggregate()
+		if c.OnRunDone != nil {
+			c.OnRunDone(c.Cells[o.cell], o.seed, o.err)
+		}
+		if pending[o.cell]--; pending[o.cell] == 0 {
+			// Seed order within a cell is nondeterministic from the
+			// channel; sort before aggregating so float summation order —
+			// and therefore every aggregate — is byte-stable across
+			// worker counts.
+			sort.Slice(cr.Runs, func(a, b int) bool {
+				return cr.Runs[a].Seed < cr.Runs[b].Seed
+			})
+			cr.aggregate()
+			cellsDone.Inc()
+			if c.OnCellDone != nil {
+				c.OnCellDone(cr)
+			}
+			if c.DropRuns {
+				cr.Runs = nil
+			}
+		}
 	}
 	return results
 }

@@ -1,0 +1,164 @@
+package experiments
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+
+	"chicsim/internal/core"
+)
+
+// CellRecord is one completed campaign cell as streamed to a JSONL
+// result file (`gridsweep -jsonl`). It carries everything the report
+// renderers need, so final CSV/Markdown reports can be regenerated from
+// the stream (`gridsweep -from-jsonl`) without holding — or re-running —
+// the whole campaign.
+type CellRecord struct {
+	Cell Cell           `json:"cell"`
+	Err  string         `json:"err,omitempty"`
+	Runs []core.Results `json:"runs,omitempty"`
+
+	AvgResponseSec     float64 `json:"avg_response_s"`
+	StdResponseSec     float64 `json:"std_response_s"`
+	CI95ResponseSec    float64 `json:"ci95_response_s"`
+	AvgDataPerJobMB    float64 `json:"avg_data_per_job_mb"`
+	AvgIdleFrac        float64 `json:"avg_idle_frac"`
+	AvgDispatchWaitSec float64 `json:"avg_dispatch_wait_s"`
+	AvgDataWaitSec     float64 `json:"avg_data_wait_s"`
+	AvgCPUWaitSec      float64 `json:"avg_cpu_wait_s"`
+	AvgExecSec         float64 `json:"avg_exec_s"`
+}
+
+// RecordOf converts an aggregated CellResult into its stream form.
+func RecordOf(cr *CellResult) CellRecord {
+	rec := CellRecord{
+		Cell:               cr.Cell,
+		Runs:               cr.Runs,
+		AvgResponseSec:     cr.AvgResponseSec,
+		StdResponseSec:     cr.StdResponseSec,
+		CI95ResponseSec:    cr.CI95ResponseSec,
+		AvgDataPerJobMB:    cr.AvgDataPerJobMB,
+		AvgIdleFrac:        cr.AvgIdleFrac,
+		AvgDispatchWaitSec: cr.AvgDispatchWaitSec,
+		AvgDataWaitSec:     cr.AvgDataWaitSec,
+		AvgCPUWaitSec:      cr.AvgCPUWaitSec,
+		AvgExecSec:         cr.AvgExecSec,
+	}
+	if cr.Err != nil {
+		rec.Err = cr.Err.Error()
+	}
+	return rec
+}
+
+// CellResult converts a stream record back to the in-memory form the
+// report renderers consume.
+func (rec CellRecord) CellResult() CellResult {
+	cr := CellResult{
+		Cell:               rec.Cell,
+		Runs:               rec.Runs,
+		AvgResponseSec:     rec.AvgResponseSec,
+		StdResponseSec:     rec.StdResponseSec,
+		CI95ResponseSec:    rec.CI95ResponseSec,
+		AvgDataPerJobMB:    rec.AvgDataPerJobMB,
+		AvgIdleFrac:        rec.AvgIdleFrac,
+		AvgDispatchWaitSec: rec.AvgDispatchWaitSec,
+		AvgDataWaitSec:     rec.AvgDataWaitSec,
+		AvgCPUWaitSec:      rec.AvgCPUWaitSec,
+		AvgExecSec:         rec.AvgExecSec,
+	}
+	if rec.Err != "" {
+		cr.Err = fmt.Errorf("%s", rec.Err)
+	}
+	return cr
+}
+
+// StreamWriter appends CellRecords to a JSONL file, flushing after every
+// record so an interrupted campaign leaves every completed cell on disk.
+// Safe for concurrent use (writes are serialized by a mutex, though the
+// campaign collector already serializes its OnCellDone calls).
+type StreamWriter struct {
+	mu  sync.Mutex
+	f   *os.File
+	bw  *bufio.Writer
+	enc *json.Encoder
+	err error
+}
+
+// CreateStream opens (truncating) a JSONL result stream at path.
+func CreateStream(path string) (*StreamWriter, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: creating result stream: %w", err)
+	}
+	bw := bufio.NewWriter(f)
+	return &StreamWriter{f: f, bw: bw, enc: json.NewEncoder(bw)}, nil
+}
+
+// Write appends one record and flushes it to the file.
+func (w *StreamWriter) Write(rec CellRecord) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.err != nil {
+		return w.err
+	}
+	if err := w.enc.Encode(rec); err != nil {
+		w.err = err
+		return err
+	}
+	if err := w.bw.Flush(); err != nil {
+		w.err = err
+		return err
+	}
+	return nil
+}
+
+// Err returns the first write error, if any.
+func (w *StreamWriter) Err() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.err
+}
+
+// Close flushes and closes the stream.
+func (w *StreamWriter) Close() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	ferr := w.bw.Flush()
+	cerr := w.f.Close()
+	if w.err != nil {
+		return w.err
+	}
+	if ferr != nil {
+		return ferr
+	}
+	return cerr
+}
+
+// ReadStream parses a JSONL result stream back into CellResults in file
+// order (the order cells completed, not campaign order).
+func ReadStream(r io.Reader) ([]CellResult, error) {
+	var out []CellResult
+	dec := json.NewDecoder(r)
+	for {
+		var rec CellRecord
+		if err := dec.Decode(&rec); err == io.EOF {
+			return out, nil
+		} else if err != nil {
+			return out, fmt.Errorf("experiments: record %d: %w", len(out)+1, err)
+		}
+		out = append(out, rec.CellResult())
+	}
+}
+
+// ReadStreamFile reads a JSONL result stream from disk.
+func ReadStreamFile(path string) ([]CellResult, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: opening result stream: %w", err)
+	}
+	defer f.Close()
+	return ReadStream(bufio.NewReader(f))
+}

@@ -1,0 +1,177 @@
+package experiments
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"sync"
+	"testing"
+)
+
+// TestStreamRoundTrip runs a tiny campaign streaming cells to JSONL,
+// reads the file back, and checks the reconstructed CellResults carry
+// the same aggregates as the in-memory ones.
+func TestStreamRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "cells.jsonl")
+	sw, err := CreateStream(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	camp := Campaign{
+		Base: tinyBase(),
+		Cells: []Cell{
+			{ES: "JobDataPresent", DS: "DataLeastLoaded", BandwidthMBps: 10},
+			{ES: "JobRandom", DS: "DataRandom", BandwidthMBps: 10},
+		},
+		Seeds:   []uint64{1, 2},
+		Workers: 2,
+		OnCellDone: func(cr *CellResult) {
+			if err := sw.Write(RecordOf(cr)); err != nil {
+				t.Errorf("stream write: %v", err)
+			}
+		},
+		DropRuns: true,
+	}
+	results := Run(camp)
+	if err := sw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	for _, cr := range results {
+		if cr.Err != nil {
+			t.Fatalf("cell %v: %v", cr.Cell, cr.Err)
+		}
+		if cr.Runs != nil {
+			t.Fatalf("cell %v: DropRuns left %d runs in memory", cr.Cell, len(cr.Runs))
+		}
+		if cr.AvgResponseSec <= 0 {
+			t.Fatalf("cell %v: aggregates missing after DropRuns", cr.Cell)
+		}
+	}
+
+	loaded, err := ReadStreamFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(loaded) != len(results) {
+		t.Fatalf("stream holds %d cells, want %d", len(loaded), len(results))
+	}
+	// File order is completion order; match cells up by key. The streamed
+	// record keeps the full Runs (written before DropRuns freed them), so
+	// null them for the aggregate comparison.
+	byCell := map[Cell]CellResult{}
+	for _, cr := range loaded {
+		if len(cr.Runs) != 2 {
+			t.Fatalf("cell %v: stream kept %d runs, want 2", cr.Cell, len(cr.Runs))
+		}
+		cr.Runs = nil
+		byCell[cr.Cell] = cr
+	}
+	for _, want := range results {
+		got, ok := byCell[want.Cell]
+		if !ok {
+			t.Fatalf("cell %v missing from stream", want.Cell)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("cell %v round-trip mismatch:\ngot:  %+v\nwant: %+v", want.Cell, got, want)
+		}
+	}
+}
+
+// TestStreamDeterministicAcrossWorkers: the aggregates that come out of
+// a streamed + DropRuns campaign must be byte-identical to a plain
+// in-memory campaign, regardless of worker count.
+func TestStreamDeterministicAcrossWorkers(t *testing.T) {
+	run := func(workers int, drop bool) []CellResult {
+		camp := Campaign{
+			Base: tinyBase(),
+			Cells: []Cell{
+				{ES: "JobDataPresent", DS: "DataLeastLoaded", BandwidthMBps: 10},
+				{ES: "JobLeastLoaded", DS: "DataRandom", BandwidthMBps: 10},
+			},
+			Seeds:    []uint64{1, 2, 3},
+			Workers:  workers,
+			DropRuns: drop,
+		}
+		out := Run(camp)
+		for i := range out {
+			out[i].Runs = nil
+		}
+		return out
+	}
+	base := run(1, false)
+	for _, workers := range []int{2, 4} {
+		if got := run(workers, true); !reflect.DeepEqual(got, base) {
+			t.Errorf("workers=%d DropRuns: aggregates differ from serial in-memory run", workers)
+		}
+	}
+}
+
+func TestStreamErrRecord(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "err.jsonl")
+	sw, err := CreateStream(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := tinyBase()
+	bad.DSInterval = 0 // invalid: every run errors
+	camp := Campaign{
+		Base:       bad,
+		Cells:      []Cell{{ES: "JobRandom", DS: "DataRandom", BandwidthMBps: 10}},
+		Seeds:      []uint64{1},
+		Workers:    1,
+		OnCellDone: func(cr *CellResult) { sw.Write(RecordOf(cr)) },
+	}
+	results := Run(camp)
+	if err := sw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if results[0].Err == nil {
+		t.Fatal("invalid config produced no error")
+	}
+	loaded, err := ReadStreamFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(loaded) != 1 || loaded[0].Err == nil {
+		t.Fatalf("error did not survive the stream round-trip: %+v", loaded)
+	}
+}
+
+// TestStreamWriterConcurrent exercises the writer's own locking (the
+// campaign serializes OnCellDone, but the writer documents concurrency
+// safety).
+func TestStreamWriterConcurrent(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "conc.jsonl")
+	sw, err := CreateStream(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 25; i++ {
+				rec := CellRecord{Cell: Cell{ES: "JobRandom", DS: "DataRandom", BandwidthMBps: float64(w)}}
+				if err := sw.Write(rec); err != nil {
+					t.Errorf("write: %v", err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if err := sw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := ReadStreamFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(loaded) != 100 {
+		t.Fatalf("loaded %d records, want 100", len(loaded))
+	}
+	if _, err := os.Stat(path); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -11,7 +11,12 @@ import (
 
 	"chicsim/internal/desim"
 	"chicsim/internal/job"
+	"chicsim/internal/stats"
 )
+
+// RespHistBins is the bin count of the response-time histogram attached
+// to Results (equal-width over the observed range; see stats.Histogram).
+const RespHistBins = 12
 
 // TransferPurpose labels why bytes moved.
 type TransferPurpose int
@@ -158,6 +163,13 @@ type Results struct {
 	AvgCPUWaitSec      float64 // data ready→start (processor contention)
 	AvgExecSec         float64 // start→end
 
+	// Response-time distribution: RespHistCounts[i] jobs finished with
+	// response in [RespHistEdges[i], RespHistEdges[i+1]). Equal-width bins
+	// over the observed range (RespHistBins of them); render with
+	// report.ResponseHistogram.
+	RespHistCounts []int     `json:",omitempty"`
+	RespHistEdges  []float64 `json:",omitempty"`
+
 	AvgDataPerJobMB float64 // paper Figure 3b (all traffic / jobs)
 	FetchMBPerJob   float64
 	ReplMBPerJob    float64
@@ -203,6 +215,7 @@ func (c *Collector) Summarize(busyCEIntegral float64, totalCEs int) Results {
 	r.AvgResponseSec = sum / n
 	r.MedResponseSec = percentile(responses, 0.5)
 	r.P95ResponseSec = percentile(responses, 0.95)
+	r.RespHistCounts, r.RespHistEdges = stats.Histogram(responses, RespHistBins)
 	r.AvgQueueWait /= n
 	r.AvgDispatchWaitSec /= n
 	r.AvgDataWaitSec /= n

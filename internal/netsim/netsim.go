@@ -258,6 +258,51 @@ func (n *Network) LinkBytes() []float64 {
 	return out
 }
 
+// EffectiveBandwidth returns the link's current capacity in bytes/sec,
+// honoring any fault override (the exported face of linkBandwidth, for
+// monitoring and invariant checks).
+func (n *Network) EffectiveBandwidth(l topology.LinkID) float64 {
+	return n.linkBandwidth(l)
+}
+
+// LinkLoads returns, per link, the sum of the current rates of the flows
+// crossing it. With correct flow control this never exceeds
+// EffectiveBandwidth for any link — the watchdog's link-capacity
+// invariant.
+func (n *Network) LinkLoads() []float64 {
+	out := make([]float64, n.topo.NumLinks())
+	for _, f := range n.ordered {
+		for _, l := range f.path {
+			out[l] += f.rate
+		}
+	}
+	return out
+}
+
+// LinkBacklogBytes returns, per link, the bytes still to be delivered by
+// the flows crossing it (each flow's remaining bytes counted on every
+// link of its route), projected to the current virtual time. It is
+// strictly read-only — deliberately NOT calling settle(), whose
+// incremental float accounting would make results depend on when
+// monitoring sampled it.
+func (n *Network) LinkBacklogBytes() []float64 {
+	dt := n.eng.Now() - n.lastAccounts
+	out := make([]float64, n.topo.NumLinks())
+	for _, f := range n.ordered {
+		rem := f.remaining
+		if dt > 0 {
+			rem -= f.rate * dt
+			if rem < 0 {
+				rem = 0
+			}
+		}
+		for _, l := range f.path {
+			out[l] += rem
+		}
+	}
+	return out
+}
+
 // CongestionOn reports the current number of active flows crossing the
 // route between two sites at its most loaded link. The adaptive scheduler
 // extension uses this as its congestion signal.

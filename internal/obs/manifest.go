@@ -26,6 +26,7 @@ type Manifest struct {
 	Started      time.Time      `json:"started"`
 	Finished     time.Time      `json:"finished"`
 	WallSeconds  float64        `json:"wall_seconds"`
+	Interrupted  bool           `json:"interrupted,omitempty"`
 	Extra        map[string]any `json:"extra,omitempty"`
 }
 
@@ -56,6 +57,10 @@ func (m *Manifest) SetExtra(key string, value any) {
 	}
 	m.Extra[key] = value
 }
+
+// MarkInterrupted flags the run as cut short by a signal, so downstream
+// consumers know the result files cover only the cells completed so far.
+func (m *Manifest) MarkInterrupted() { m.Interrupted = true }
 
 // Finish stamps the end time and wall duration.
 func (m *Manifest) Finish() {

@@ -1,0 +1,163 @@
+// Package monitor is the opt-in HTTP face of the live control plane:
+// started with `gridsweep -listen` / `chicsim -listen`, it serves
+//
+//	/metrics  current registry state in Prometheus text exposition format
+//	/status   one JSON document of campaign progress (ETA, cells, seed)
+//	/events   an SSE stream of cell-completion and watchdog events
+//
+// The monitor only ever *reads* simulation state through the registry's
+// atomic snapshots and a status callback, and event publication happens
+// after the fact of whatever it reports, so serving scrapes concurrently
+// with a campaign cannot perturb results.
+package monitor
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"sync"
+	"time"
+
+	"chicsim/internal/obs/registry"
+)
+
+// Server is a running monitor. Create with Start, stop with Close.
+type Server struct {
+	reg    *registry.Registry
+	status func() any
+
+	srv *http.Server
+	ln  net.Listener
+
+	mu   sync.Mutex
+	subs map[chan []byte]struct{}
+	next int
+}
+
+// Start listens on addr (host:port; use ":0" for an ephemeral port) and
+// serves until Close. reg may be nil (/metrics serves an empty document);
+// status may be nil (/status serves {}).
+func Start(addr string, reg *registry.Registry, status func() any) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("monitor: %w", err)
+	}
+	s := &Server{reg: reg, status: status, ln: ln, subs: make(map[chan []byte]struct{})}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	mux.HandleFunc("/status", s.handleStatus)
+	mux.HandleFunc("/events", s.handleEvents)
+	mux.HandleFunc("/", s.handleIndex)
+	s.srv = &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
+	go s.srv.Serve(ln) //nolint:errcheck // Serve returns ErrServerClosed on Close
+	return s, nil
+}
+
+// Addr returns the bound address, e.g. "127.0.0.1:43801" — needed when
+// listening on ":0".
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close stops the listener and disconnects all SSE subscribers.
+func (s *Server) Close() error {
+	err := s.srv.Close()
+	s.mu.Lock()
+	for ch := range s.subs {
+		close(ch)
+		delete(s.subs, ch)
+	}
+	s.mu.Unlock()
+	return err
+}
+
+func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Path != "/" {
+		http.NotFound(w, r)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "chicsim monitor: /metrics /status /events")
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	if s.reg == nil {
+		return
+	}
+	if err := registry.WritePrometheus(w, s.reg.Gather()); err != nil {
+		// Connection-level write error; nothing more to do.
+		return
+	}
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	var doc any = struct{}{}
+	if s.status != nil {
+		doc = s.status()
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(doc) //nolint:errcheck // connection-level failure only
+}
+
+// Publish broadcasts an SSE event to all /events subscribers. data is
+// JSON-marshalled; marshal failures are reported inline as an error
+// event rather than dropped silently. Slow subscribers are skipped, not
+// waited on, so Publish never blocks simulation progress.
+func (s *Server) Publish(event string, data any) {
+	body, err := json.Marshal(data)
+	if err != nil {
+		body = []byte(fmt.Sprintf(`{"error":%q}`, err.Error()))
+	}
+	frame := []byte(fmt.Sprintf("event: %s\ndata: %s\n\n", event, body))
+	s.mu.Lock()
+	for ch := range s.subs {
+		select {
+		case ch <- frame:
+		default: // subscriber not keeping up; drop this frame for it
+		}
+	}
+	s.mu.Unlock()
+}
+
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		http.Error(w, "streaming unsupported", http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.Header().Set("Connection", "keep-alive")
+
+	ch := make(chan []byte, 64)
+	s.mu.Lock()
+	s.subs[ch] = struct{}{}
+	s.mu.Unlock()
+	defer func() {
+		s.mu.Lock()
+		if _, live := s.subs[ch]; live {
+			delete(s.subs, ch)
+			close(ch)
+		}
+		s.mu.Unlock()
+	}()
+
+	fmt.Fprint(w, ": connected\n\n")
+	fl.Flush()
+	for {
+		select {
+		case frame, ok := <-ch:
+			if !ok {
+				return // server closing
+			}
+			if _, err := w.Write(frame); err != nil {
+				return
+			}
+			fl.Flush()
+		case <-r.Context().Done():
+			return
+		}
+	}
+}

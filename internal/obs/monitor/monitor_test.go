@@ -1,0 +1,221 @@
+package monitor
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"chicsim/internal/obs/registry"
+)
+
+func startTestServer(t *testing.T, reg *registry.Registry, status func() any) *Server {
+	t.Helper()
+	s, err := Start("127.0.0.1:0", reg, status)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	return s
+}
+
+func get(t *testing.T, url string) (string, *http.Response) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(body), resp
+}
+
+func TestMetricsEndpoint(t *testing.T) {
+	reg := registry.New()
+	reg.Counter("jobs_total", "Jobs.", "state").With("done").Add(42)
+	reg.Histogram("resp_seconds", "Response.", []float64{1, 10}).With().Observe(3)
+	s := startTestServer(t, reg, nil)
+
+	body, resp := get(t, "http://"+s.Addr()+"/metrics")
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("Content-Type = %q", ct)
+	}
+	if !strings.Contains(body, `jobs_total{state="done"} 42`) {
+		t.Fatalf("metrics body missing counter:\n%s", body)
+	}
+	if err := registry.CheckText(strings.NewReader(body)); err != nil {
+		t.Fatalf("/metrics not valid exposition format: %v", err)
+	}
+}
+
+func TestMetricsEndpointNilRegistry(t *testing.T) {
+	s := startTestServer(t, nil, nil)
+	body, resp := get(t, "http://"+s.Addr()+"/metrics")
+	if resp.StatusCode != http.StatusOK || body != "" {
+		t.Fatalf("nil registry: status %d body %q", resp.StatusCode, body)
+	}
+}
+
+func TestStatusEndpoint(t *testing.T) {
+	type status struct {
+		Done  int    `json:"done"`
+		Total int    `json:"total"`
+		Label string `json:"label"`
+	}
+	s := startTestServer(t, nil, func() any { return status{Done: 3, Total: 9, Label: "fig5"} })
+	body, resp := get(t, "http://"+s.Addr()+"/status")
+	if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("Content-Type = %q", ct)
+	}
+	var got status
+	if err := json.Unmarshal([]byte(body), &got); err != nil {
+		t.Fatalf("status not JSON: %v\n%s", err, body)
+	}
+	if got != (status{3, 9, "fig5"}) {
+		t.Fatalf("status = %+v", got)
+	}
+}
+
+func TestEventsStream(t *testing.T) {
+	s := startTestServer(t, nil, nil)
+	resp, err := http.Get("http://" + s.Addr() + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	br := bufio.NewReader(resp.Body)
+	// First frame is the ": connected" comment.
+	line, err := br.ReadString('\n')
+	if err != nil || !strings.HasPrefix(line, ": connected") {
+		t.Fatalf("greeting = %q, %v", line, err)
+	}
+	if _, err := br.ReadString('\n'); err != nil { // blank line
+		t.Fatal(err)
+	}
+
+	// The subscriber is registered before the greeting is written, so a
+	// publish after reading it must be delivered.
+	s.Publish("cell_done", map[string]any{"cell": "f1,s2", "runs": 5})
+	var frame strings.Builder
+	for {
+		line, err := br.ReadString('\n')
+		if err != nil {
+			t.Fatalf("reading event: %v (got %q)", err, frame.String())
+		}
+		frame.WriteString(line)
+		if line == "\n" {
+			break
+		}
+	}
+	got := frame.String()
+	if !strings.Contains(got, "event: cell_done\n") || !strings.Contains(got, `"cell":"f1,s2"`) {
+		t.Fatalf("event frame = %q", got)
+	}
+}
+
+func TestPublishDoesNotBlockOnSlowSubscriber(t *testing.T) {
+	s := startTestServer(t, nil, nil)
+	resp, err := http.Get("http://" + s.Addr() + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	// Never read from resp.Body: the subscriber channel fills up. Publish
+	// must still return promptly for far more events than the buffer.
+	done := make(chan struct{})
+	go func() {
+		for i := 0; i < 1000; i++ {
+			s.Publish("tick", i)
+		}
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Publish blocked on a slow subscriber")
+	}
+}
+
+func TestConcurrentScrapesAndPublishes(t *testing.T) {
+	reg := registry.New()
+	c := reg.Counter("n_total", "").With()
+	s := startTestServer(t, reg, func() any { return map[string]float64{"n": c.Value()} })
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				c.Inc()
+				s.Publish("tick", i)
+			}
+		}()
+	}
+	for w := 0; w < 2; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 20; i++ {
+				body, _ := get(t, "http://"+s.Addr()+"/metrics")
+				if err := registry.CheckText(strings.NewReader(body)); err != nil {
+					t.Errorf("scrape %d invalid: %v", i, err)
+					return
+				}
+				get(t, "http://"+s.Addr()+"/status")
+			}
+		}()
+	}
+	wg.Wait()
+	if c.Value() != 200 {
+		t.Fatalf("counter = %v, want 200", c.Value())
+	}
+}
+
+func TestIndexAndNotFound(t *testing.T) {
+	s := startTestServer(t, nil, nil)
+	body, resp := get(t, "http://"+s.Addr()+"/")
+	if resp.StatusCode != http.StatusOK || !strings.Contains(body, "/metrics") {
+		t.Fatalf("index: %d %q", resp.StatusCode, body)
+	}
+	_, resp = get(t, fmt.Sprintf("http://%s/nope", s.Addr()))
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown path: %d", resp.StatusCode)
+	}
+}
+
+func TestCloseDisconnectsSubscribers(t *testing.T) {
+	s, err := Start("127.0.0.1:0", nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Get("http://" + s.Addr() + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	br := bufio.NewReader(resp.Body)
+	br.ReadString('\n') // greeting
+	br.ReadString('\n')
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// The stream must terminate rather than hang.
+	errc := make(chan error, 1)
+	go func() {
+		_, err := io.ReadAll(br)
+		errc <- err
+	}()
+	select {
+	case <-errc:
+	case <-time.After(5 * time.Second):
+		t.Fatal("subscriber stream did not terminate on Close")
+	}
+}

@@ -19,6 +19,9 @@ type Flags struct {
 	StreamPath     string  // -obs-stream: incremental JSONL/CSV sample stream
 	ManifestPath   string  // -manifest: JSON run-manifest destination
 	TracePath      string  // -trace-out: DGE event-trace destination (.gz = gzip)
+	ListenAddr     string  // -listen: live monitor HTTP address
+	MetricsPath    string  // -metrics-out: final Prometheus-text registry snapshot
+	WatchdogMode   string  // -watchdog: invariant watchdog mode (off, warn, fail)
 }
 
 // BindFlags registers the shared observability flags on fs (use
@@ -32,6 +35,9 @@ func BindFlags(fs *flag.FlagSet) *Flags {
 	fs.StringVar(&f.StreamPath, "obs-stream", "", "stream probe samples to this file as they are taken (.csv extension selects CSV, anything else JSON Lines)")
 	fs.StringVar(&f.ManifestPath, "manifest", "", "write a run manifest (config hash, seeds, git describe, timings) to this JSON file")
 	fs.StringVar(&f.TracePath, "trace-out", "", "record the DGE event trace to this JSONL file (.gz gzips; analyze with dgetrace)")
+	fs.StringVar(&f.ListenAddr, "listen", "", "serve live /metrics, /status, and /events on this address (e.g. 127.0.0.1:8080) while running")
+	fs.StringVar(&f.MetricsPath, "metrics-out", "", "write a final Prometheus-text snapshot of the metrics registry to this file")
+	fs.StringVar(&f.WatchdogMode, "watchdog", "off", "online invariant watchdog: off, warn (log and continue), fail (abort the run)")
 	return f
 }
 

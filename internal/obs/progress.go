@@ -78,14 +78,7 @@ func (p *Progress) RunDone(run string) {
 	defer p.mu.Unlock()
 	p.running--
 	p.done++
-	elapsed := p.now().Sub(p.start).Seconds()
-	rate, eta := 0.0, 0.0
-	if elapsed > 0 {
-		rate = float64(p.done) / elapsed
-	}
-	if rate > 0 {
-		eta = float64(p.total-p.done) / rate
-	}
+	elapsed, rate, eta := p.rates()
 	if p.text != nil {
 		fmt.Fprintf(p.text, "%s: %d/%d sims (%.0f%%) | %.1f sims/s | ETA %.0fs | %d/%d workers busy | done %s\n",
 			p.label, p.done, p.total, 100*float64(p.done)/float64(p.total), rate, eta, p.running, p.workers, run)
@@ -108,6 +101,48 @@ func (p *Progress) RunDone(run string) {
 	}
 }
 
+// rates computes elapsed wall seconds, completion rate, and remaining-time
+// estimate. Caller holds p.mu.
+func (p *Progress) rates() (elapsed, rate, eta float64) {
+	elapsed = p.now().Sub(p.start).Seconds()
+	if elapsed > 0 {
+		rate = float64(p.done) / elapsed
+	}
+	if rate > 0 {
+		eta = float64(p.total-p.done) / rate
+	}
+	return elapsed, rate, eta
+}
+
+// Snapshot is the current progress state as one JSON-encodable record —
+// the campaign half of a monitor's /status document.
+type Snapshot struct {
+	Label    string  `json:"label"`
+	Done     int     `json:"done"`
+	Total    int     `json:"total"`
+	Running  int     `json:"running"`
+	Workers  int     `json:"workers"`
+	ElapsedS float64 `json:"elapsed_s"`
+	SimsPerS float64 `json:"sims_per_s"`
+	EtaS     float64 `json:"eta_s"`
+}
+
+// Snapshot returns the reporter's current state. Safe for concurrent use;
+// a nil receiver returns the zero Snapshot.
+func (p *Progress) Snapshot() Snapshot {
+	if p == nil {
+		return Snapshot{}
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	elapsed, rate, eta := p.rates()
+	return Snapshot{
+		Label: p.label, Done: p.done, Total: p.total,
+		Running: p.running, Workers: p.workers,
+		ElapsedS: elapsed, SimsPerS: rate, EtaS: eta,
+	}
+}
+
 // Finish emits a closing summary line.
 func (p *Progress) Finish() {
 	if p == nil {
@@ -115,11 +150,7 @@ func (p *Progress) Finish() {
 	}
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	elapsed := p.now().Sub(p.start).Seconds()
-	rate := 0.0
-	if elapsed > 0 {
-		rate = float64(p.done) / elapsed
-	}
+	elapsed, rate, _ := p.rates()
 	if p.text != nil {
 		fmt.Fprintf(p.text, "%s: finished %d/%d sims in %.1fs (%.1f sims/s)\n",
 			p.label, p.done, p.total, elapsed, rate)

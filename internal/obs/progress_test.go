@@ -1,0 +1,94 @@
+package obs
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+)
+
+// fakeClock steps virtual wall time under test control.
+type fakeClock struct{ t time.Time }
+
+func (c *fakeClock) now() time.Time          { return c.t }
+func (c *fakeClock) advance(d time.Duration) { c.t = c.t.Add(d) }
+
+func newTestProgress(w *strings.Builder, total int) (*Progress, *fakeClock) {
+	clk := &fakeClock{t: time.Unix(1000, 0)}
+	p := NewProgress(w, "test", total)
+	p.now = clk.now
+	p.start = clk.now()
+	return p, clk
+}
+
+// TestProgressETA pins the rate/ETA arithmetic: after 4 of 10 runs in
+// 20 s, the rate is 0.2 sims/s and the remaining 6 runs project to 30 s.
+func TestProgressETA(t *testing.T) {
+	var sb strings.Builder
+	p, clk := newTestProgress(&sb, 10)
+	p.SetWorkers(2)
+	for i := 0; i < 4; i++ {
+		p.RunStart()
+		clk.advance(5 * time.Second)
+		p.RunDone("r")
+	}
+	s := p.Snapshot()
+	if s.Done != 4 || s.Total != 10 || s.Running != 0 || s.Workers != 2 {
+		t.Fatalf("snapshot counts = %+v", s)
+	}
+	if s.ElapsedS != 20 {
+		t.Errorf("ElapsedS = %v, want 20", s.ElapsedS)
+	}
+	if s.SimsPerS != 0.2 {
+		t.Errorf("SimsPerS = %v, want 0.2", s.SimsPerS)
+	}
+	if s.EtaS != 30 {
+		t.Errorf("EtaS = %v, want 30", s.EtaS)
+	}
+	if !strings.Contains(sb.String(), "4/10 sims (40%) | 0.2 sims/s | ETA 30s") {
+		t.Errorf("progress line does not show the ETA math:\n%s", sb.String())
+	}
+}
+
+// TestProgressSnapshotZeroElapsed: no divide-by-zero surprises before any
+// time has passed or any run has finished.
+func TestProgressSnapshotZeroElapsed(t *testing.T) {
+	var sb strings.Builder
+	p, _ := newTestProgress(&sb, 5)
+	s := p.Snapshot()
+	if s.SimsPerS != 0 || s.EtaS != 0 || s.ElapsedS != 0 {
+		t.Fatalf("idle snapshot = %+v, want zero rates", s)
+	}
+	var nilP *Progress
+	if got := nilP.Snapshot(); got != (Snapshot{}) {
+		t.Fatalf("nil Snapshot = %+v", got)
+	}
+}
+
+// TestProgressJSONL checks the per-run JSONL record carries the same
+// numbers as the snapshot.
+func TestProgressJSONL(t *testing.T) {
+	var text, jl strings.Builder
+	p, clk := newTestProgress(&text, 4)
+	p.JSONLTo(&jl)
+	p.RunStart()
+	clk.advance(10 * time.Second)
+	p.RunDone("cellA seed=1")
+	var rec struct {
+		Run      string  `json:"run"`
+		Done     int     `json:"done"`
+		Total    int     `json:"total"`
+		ElapsedS float64 `json:"elapsed_s"`
+		SimsPerS float64 `json:"sims_per_s"`
+		EtaS     float64 `json:"eta_s"`
+	}
+	if err := json.Unmarshal([]byte(jl.String()), &rec); err != nil {
+		t.Fatalf("bad JSONL %q: %v", jl.String(), err)
+	}
+	if rec.Run != "cellA seed=1" || rec.Done != 1 || rec.Total != 4 {
+		t.Fatalf("record = %+v", rec)
+	}
+	if rec.ElapsedS != 10 || rec.SimsPerS != 0.1 || rec.EtaS != 30 {
+		t.Fatalf("record rates = %+v, want elapsed 10, rate 0.1, eta 30", rec)
+	}
+}

@@ -1,0 +1,144 @@
+package registry
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// CheckText validates that r is well-formed Prometheus text exposition
+// format (version 0.0.4): every non-comment line is `name[{labels}] value
+// [timestamp]`, label bodies are balanced and quoted, values parse as
+// floats (or ±Inf/NaN), and # TYPE lines name a known metric type. It is
+// the verification half of WritePrometheus, used by tests and the CI
+// monitor smoke test to assert a live /metrics scrape parses.
+func CheckText(r io.Reader) error {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if strings.TrimSpace(line) == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			if err := checkComment(line); err != nil {
+				return fmt.Errorf("line %d: %w", lineNo, err)
+			}
+			continue
+		}
+		if err := checkSample(line); err != nil {
+			return fmt.Errorf("line %d: %w", lineNo, err)
+		}
+	}
+	return sc.Err()
+}
+
+func checkComment(line string) error {
+	fields := strings.SplitN(line, " ", 4)
+	if len(fields) < 2 {
+		return nil // bare comment
+	}
+	switch fields[1] {
+	case "TYPE":
+		if len(fields) < 4 {
+			return fmt.Errorf("malformed TYPE comment %q", line)
+		}
+		switch fields[3] {
+		case "counter", "gauge", "histogram", "summary", "untyped":
+			return nil
+		default:
+			return fmt.Errorf("unknown metric type %q", fields[3])
+		}
+	case "HELP":
+		if len(fields) < 3 {
+			return fmt.Errorf("malformed HELP comment %q", line)
+		}
+	}
+	return nil
+}
+
+func checkSample(line string) error {
+	rest := line
+	brace := strings.IndexByte(rest, '{')
+	var name string
+	if brace >= 0 {
+		name = rest[:brace]
+		var err error
+		rest, err = consumeLabels(rest[brace+1:])
+		if err != nil {
+			return err
+		}
+	} else {
+		sp := strings.IndexByte(rest, ' ')
+		if sp < 0 {
+			return fmt.Errorf("sample without value: %q", line)
+		}
+		name, rest = rest[:sp], rest[sp:]
+	}
+	if !nameRE.MatchString(name) {
+		return fmt.Errorf("invalid metric name %q", name)
+	}
+	fields := strings.Fields(rest)
+	if len(fields) < 1 || len(fields) > 2 {
+		return fmt.Errorf("want value [timestamp] after name, got %q", rest)
+	}
+	switch fields[0] {
+	case "+Inf", "-Inf", "Inf", "NaN":
+	default:
+		if _, err := strconv.ParseFloat(fields[0], 64); err != nil {
+			return fmt.Errorf("bad value %q", fields[0])
+		}
+	}
+	if len(fields) == 2 {
+		if _, err := strconv.ParseInt(fields[1], 10, 64); err != nil {
+			return fmt.Errorf("bad timestamp %q", fields[1])
+		}
+	}
+	return nil
+}
+
+// consumeLabels validates the label body after '{' and returns what
+// follows the closing '}'.
+func consumeLabels(s string) (rest string, err error) {
+	for {
+		s = strings.TrimLeft(s, " \t")
+		if strings.HasPrefix(s, "}") {
+			return s[1:], nil
+		}
+		eq := strings.IndexByte(s, '=')
+		if eq < 0 {
+			return "", fmt.Errorf("label pair without '=' in %q", s)
+		}
+		lname := strings.TrimSpace(s[:eq])
+		if !nameRE.MatchString(lname) && lname != "le" && lname != "quantile" {
+			return "", fmt.Errorf("invalid label name %q", lname)
+		}
+		s = s[eq+1:]
+		if !strings.HasPrefix(s, `"`) {
+			return "", fmt.Errorf("label value not quoted in %q", s)
+		}
+		s = s[1:]
+		// Scan to the closing quote, honoring backslash escapes.
+		i := 0
+		for ; i < len(s); i++ {
+			if s[i] == '\\' {
+				i++
+				continue
+			}
+			if s[i] == '"' {
+				break
+			}
+		}
+		if i >= len(s) {
+			return "", fmt.Errorf("unterminated label value")
+		}
+		s = s[i+1:]
+		if strings.HasPrefix(s, ",") {
+			s = s[1:]
+		}
+	}
+}

@@ -1,0 +1,113 @@
+package registry
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// WritePrometheus renders gathered families in the Prometheus text
+// exposition format (version 0.0.4): # HELP / # TYPE headers, one sample
+// line per series, histograms expanded into cumulative _bucket series
+// plus _sum and _count. Output order follows Gather's deterministic
+// ordering, so two snapshots of identical state render byte-identically.
+func WritePrometheus(w io.Writer, fams []Family) error {
+	for _, f := range fams {
+		if f.Help != "" {
+			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", f.Name, escapeHelp(f.Help)); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", f.Name, f.Kind); err != nil {
+			return err
+		}
+		for _, s := range f.Samples {
+			if f.Kind == HistogramKind {
+				if err := writeHistogram(w, f, s); err != nil {
+					return err
+				}
+				continue
+			}
+			if _, err := fmt.Fprintf(w, "%s%s %s\n",
+				f.Name, labelString(f.LabelNames, s.LabelValues, "", ""), formatValue(s.Value)); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func writeHistogram(w io.Writer, f Family, s Sample) error {
+	h := s.Hist
+	for i, cum := range h.CumCounts {
+		le := "+Inf"
+		if i < len(h.UpperBounds) {
+			le = formatValue(h.UpperBounds[i])
+		}
+		if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n",
+			f.Name, labelString(f.LabelNames, s.LabelValues, "le", le), cum); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "%s_sum%s %s\n",
+		f.Name, labelString(f.LabelNames, s.LabelValues, "", ""), formatValue(h.Sum)); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "%s_count%s %d\n",
+		f.Name, labelString(f.LabelNames, s.LabelValues, "", ""), h.Count)
+	return err
+}
+
+// labelString renders {a="x",b="y"} with an optional extra pair (le for
+// histogram buckets); empty when there are no labels at all.
+func labelString(names, values []string, extraName, extraValue string) string {
+	if len(names) == 0 && extraName == "" {
+		return ""
+	}
+	var sb strings.Builder
+	sb.WriteByte('{')
+	for i, n := range names {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		sb.WriteString(n)
+		sb.WriteString(`="`)
+		sb.WriteString(escapeLabel(values[i]))
+		sb.WriteByte('"')
+	}
+	if extraName != "" {
+		if len(names) > 0 {
+			sb.WriteByte(',')
+		}
+		sb.WriteString(extraName)
+		sb.WriteString(`="`)
+		sb.WriteString(escapeLabel(extraValue))
+		sb.WriteByte('"')
+	}
+	sb.WriteByte('}')
+	return sb.String()
+}
+
+func formatValue(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case math.IsNaN(v):
+		return "NaN"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+func escapeLabel(s string) string {
+	r := strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+	return r.Replace(s)
+}
+
+func escapeHelp(s string) string {
+	r := strings.NewReplacer(`\`, `\\`, "\n", `\n`)
+	return r.Replace(s)
+}

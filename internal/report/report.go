@@ -301,3 +301,28 @@ func Histogram(w io.Writer, counts []int, ranks, maxWidth int) {
 		fmt.Fprintf(w, "%4d %6d %s\n", i, counts[i], strings.Repeat("#", bar))
 	}
 }
+
+// ResponseHistogram renders the response-time distribution of a run
+// (Results.RespHistCounts/RespHistEdges): one row per bin with its
+// seconds range, job count, and a bar scaled to maxWidth characters.
+func ResponseHistogram(w io.Writer, counts []int, edges []float64, maxWidth int) {
+	if len(counts) == 0 || len(edges) != len(counts)+1 {
+		fmt.Fprintln(w, "(no response histogram)")
+		return
+	}
+	peak := 0
+	for _, c := range counts {
+		if c > peak {
+			peak = c
+		}
+	}
+	if peak == 0 {
+		fmt.Fprintln(w, "(no completed jobs)")
+		return
+	}
+	fmt.Fprintln(w, "response time (s)        jobs")
+	for i, c := range counts {
+		bar := c * maxWidth / peak
+		fmt.Fprintf(w, "%8.0f-%-8.0f %10d %s\n", edges[i], edges[i+1], c, strings.Repeat("#", bar))
+	}
+}

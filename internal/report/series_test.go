@@ -50,3 +50,50 @@ func TestSeriesMarkdown(t *testing.T) {
 		t.Fatalf("gauge rate placeholder missing:\n%s", out)
 	}
 }
+
+// TestSeriesMarkdownGolden pins the exact rendering, so report formatting
+// changes are deliberate rather than accidental.
+func TestSeriesMarkdownGolden(t *testing.T) {
+	var sb strings.Builder
+	SeriesMarkdown(&sb, sampleSeries())
+	want := "| probe | kind | min | mean | max | last | rate/s |\n" +
+		"|---|---|---|---|---|---|---|\n" +
+		"| queue | gauge | 1.5 | 2.75 | 4 | 1.5 | – |\n" +
+		"| done | counter | 0 | 3 | 6 | 6 | 0.1 |\n"
+	if sb.String() != want {
+		t.Fatalf("markdown golden mismatch:\ngot:\n%s\nwant:\n%s", sb.String(), want)
+	}
+
+	sb.Reset()
+	SeriesMarkdown(&sb, nil)
+	if !strings.Contains(sb.String(), "no series") {
+		t.Fatalf("nil series markdown = %q", sb.String())
+	}
+}
+
+// TestResponseHistogramGolden pins the run-level response histogram
+// rendering used by `chicsim -hist`.
+func TestResponseHistogramGolden(t *testing.T) {
+	var sb strings.Builder
+	counts := []int{3, 6, 1}
+	edges := []float64{0, 100, 200, 300}
+	ResponseHistogram(&sb, counts, edges, 12)
+	want := "response time (s)        jobs\n" +
+		"       0-100               3 ######\n" +
+		"     100-200               6 ############\n" +
+		"     200-300               1 ##\n"
+	if sb.String() != want {
+		t.Fatalf("histogram golden mismatch:\ngot:\n%s\nwant:\n%s", sb.String(), want)
+	}
+
+	sb.Reset()
+	ResponseHistogram(&sb, nil, nil, 12)
+	if !strings.Contains(sb.String(), "no response histogram") {
+		t.Fatalf("empty histogram = %q", sb.String())
+	}
+	sb.Reset()
+	ResponseHistogram(&sb, []int{0, 0}, []float64{0, 1, 2}, 12)
+	if !strings.Contains(sb.String(), "no completed jobs") {
+		t.Fatalf("all-zero histogram = %q", sb.String())
+	}
+}

@@ -135,6 +135,18 @@ func (s *Site) QueueLen() int { return len(s.queue) }
 // Busy returns the number of occupied compute elements.
 func (s *Site) Busy() int { return s.busy }
 
+// DataWaitingJobs returns how many queued jobs are still waiting on at
+// least one input transfer (read-only; the monitor's data-stall gauge).
+func (s *Site) DataWaitingJobs() int {
+	n := 0
+	for _, j := range s.queue {
+		if !s.jobReady(j) {
+			n++
+		}
+	}
+	return n
+}
+
 // Store exposes the site's storage (read-mostly; used by setup and tests).
 func (s *Site) Store() *storage.Store { return s.store }
 
