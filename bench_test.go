@@ -19,6 +19,7 @@ import (
 	"chicsim/internal/core"
 	"chicsim/internal/experiments"
 	"chicsim/internal/faults"
+	"chicsim/internal/kernelbench"
 	"chicsim/internal/netsim"
 	"chicsim/internal/obs/registry"
 	"chicsim/internal/obs/watchdog"
@@ -514,6 +515,11 @@ func BenchmarkFaults(b *testing.B) {
 		})
 	}
 }
+
+// BenchmarkSim is the kernel suite's end-to-end anchor: full default-
+// scenario simulations reporting events/sec (body shared with
+// cmd/kernelbench, which tracks it in BENCH_kernel.json).
+func BenchmarkSim(b *testing.B) { kernelbench.Sim(b) }
 
 // BenchmarkEngineThroughput measures raw simulator performance: virtual
 // events processed per wall second on the default scenario.

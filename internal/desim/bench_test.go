@@ -1,0 +1,15 @@
+package desim_test
+
+import (
+	"testing"
+
+	"chicsim/internal/kernelbench"
+)
+
+// BenchmarkEngineChurn exercises the schedule/cancel-heavy pattern the
+// flow-cancellation matrix produces (body shared with cmd/kernelbench).
+func BenchmarkEngineChurn(b *testing.B) { kernelbench.EngineChurn(b) }
+
+// BenchmarkEngineStep measures steady-state stepping; with the pooled
+// event queue it must run at 0 allocs/op.
+func BenchmarkEngineStep(b *testing.B) { kernelbench.EngineStep(b) }

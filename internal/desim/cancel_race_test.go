@@ -13,7 +13,7 @@ func TestSameTimestampCancelBeforeFire(t *testing.T) {
 	run := func() []string {
 		e := New()
 		var order []string
-		var victim *Event
+		var victim Event
 		e.At(5, func() {
 			order = append(order, "canceller")
 			e.Cancel(victim)
@@ -72,7 +72,7 @@ func TestSameTimestampCancelAfterFire(t *testing.T) {
 func TestCancelRescheduleSameInstant(t *testing.T) {
 	e := New()
 	fires := 0
-	var old *Event
+	var old Event
 	old = e.At(2, func() { t.Fatal("stale event fired") })
 	e.At(2, func() {
 		// Earlier seq than old? No: old has seq 0, this has seq 1, so old

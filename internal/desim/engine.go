@@ -5,10 +5,19 @@
 // simulator component runs. Events are callbacks scheduled at a virtual
 // time; ties are broken by scheduling order, so a simulation driven by a
 // seeded random source is exactly reproducible.
+//
+// # Kernel internals
+//
+// The queue is an inlined 4-ary heap of pooled event nodes ordered by
+// (time, sequence) — a strict deterministic total order. Cancellation is
+// lazy: Cancel marks the node and the queue drains it on pop (or in a
+// batched compaction once dead nodes dominate), so the cancel-heavy flow
+// matrix costs O(1) per cancel instead of an O(log n) removal. Nodes are
+// recycled through a free list, making steady-state scheduling and
+// stepping allocation-free. See DESIGN.md §13 for the invariants.
 package desim
 
 import (
-	"container/heap"
 	"fmt"
 	"math"
 )
@@ -16,27 +25,68 @@ import (
 // Time is virtual simulation time in seconds.
 type Time = float64
 
-// Event is a handle to a scheduled callback. It can be cancelled before it
-// fires via Engine.Cancel.
-type Event struct {
+// node is the pooled internal representation of one scheduled callback.
+// Nodes are recycled through the engine's free list; gen counts reuses so
+// stale Event handles can be detected.
+type node struct {
 	at       Time
 	seq      uint64
-	index    int // heap index; -1 once popped or cancelled
+	gen      uint64
+	index    int32 // position in the heap; -1 once popped or pooled
 	canceled bool
 	fired    bool
 	fn       func()
 }
 
-// At returns the virtual time the event is scheduled to fire.
-func (e *Event) At() Time { return e.at }
+// Event is a handle to a scheduled callback. It can be cancelled before it
+// fires via Engine.Cancel, or moved via Engine.Reschedule. The zero Event
+// means "no event" and is safe to Cancel (a no-op).
+//
+// Handles stay valid after the event fires or is cancelled: Cancel remains
+// a guaranteed no-op and Fired/Canceled keep reporting the outcome — until
+// the engine recycles the underlying node for a later Schedule, after
+// which the stale handle still cancels nothing (a generation check makes
+// that unconditional) but Fired/Canceled report the generic
+// lifecycle-over outcome (true, false) rather than the recorded one.
+type Event struct {
+	n   *node
+	gen uint64
+}
+
+// IsZero reports whether the handle is the zero "no event" value.
+func (ev Event) IsZero() bool { return ev.n == nil }
+
+// live reports whether the handle still refers to the node's current
+// occupant (scheduled, fired, or cancelled — but not yet recycled).
+func (ev Event) live() bool { return ev.n != nil && ev.n.gen == ev.gen }
+
+// At returns the virtual time the event is scheduled (or last fired).
+// Unspecified for zero or recycled handles.
+func (ev Event) At() Time {
+	if !ev.live() {
+		return math.NaN()
+	}
+	return ev.n.at
+}
 
 // Canceled reports whether the event was cancelled before it fired. An
 // event that already executed stays Canceled() == false even if Cancel is
 // called on it afterwards.
-func (e *Event) Canceled() bool { return e.canceled }
+func (ev Event) Canceled() bool { return ev.live() && ev.n.canceled }
 
 // Fired reports whether the event's callback has executed.
-func (e *Event) Fired() bool { return e.fired }
+func (ev Event) Fired() bool {
+	if ev.n == nil {
+		return false
+	}
+	if ev.n.gen != ev.gen {
+		// Node recycled: this event's lifecycle is over. Cancelled events
+		// are overwhelmingly drained long before reuse, so report the
+		// common outcome.
+		return true
+	}
+	return ev.n.fired
+}
 
 // Engine is a discrete-event simulation engine. The zero value is ready to
 // use. Engine is not safe for concurrent use: a simulation is a single
@@ -44,9 +94,12 @@ func (e *Event) Fired() bool { return e.fired }
 // up, across independent simulations).
 type Engine struct {
 	now     Time
-	queue   eventHeap
+	queue   []*node // 4-ary min-heap on (at, seq)
 	seq     uint64
 	fired   uint64
+	live    int     // scheduled, neither cancelled nor fired
+	dead    int     // cancelled nodes still awaiting drain from the queue
+	free    []*node // recycled nodes
 	stopped bool
 }
 
@@ -60,14 +113,14 @@ func (e *Engine) Now() Time { return e.now }
 // for progress accounting).
 func (e *Engine) Fired() uint64 { return e.fired }
 
-// Pending returns the number of events still scheduled (including cancelled
-// events not yet drained from the heap).
-func (e *Engine) Pending() int { return len(e.queue) }
+// Pending returns the exact number of live scheduled events. Cancelled
+// events still awaiting their lazy drain from the queue are not counted.
+func (e *Engine) Pending() int { return e.live }
 
 // Schedule registers fn to run after delay seconds of virtual time.
 // A negative or NaN delay is an error in the caller; Schedule panics to
 // surface the bug instead of silently reordering time.
-func (e *Engine) Schedule(delay Time, fn func()) *Event {
+func (e *Engine) Schedule(delay Time, fn func()) Event {
 	if math.IsNaN(delay) || delay < 0 {
 		panic(fmt.Sprintf("desim: Schedule with invalid delay %v", delay))
 	}
@@ -76,54 +129,98 @@ func (e *Engine) Schedule(delay Time, fn func()) *Event {
 
 // At registers fn to run at absolute virtual time t, which must not be in
 // the past.
-func (e *Engine) At(t Time, fn func()) *Event {
+func (e *Engine) At(t Time, fn func()) Event {
 	if math.IsNaN(t) || t < e.now {
 		panic(fmt.Sprintf("desim: At with time %v before now %v", t, e.now))
 	}
 	if fn == nil {
 		panic("desim: At with nil callback")
 	}
-	ev := &Event{at: t, seq: e.seq, fn: fn}
+	n := e.alloc()
+	n.at = t
+	n.seq = e.seq
+	n.fn = fn
 	e.seq++
-	heap.Push(&e.queue, ev)
-	return ev
+	e.push(n)
+	e.live++
+	return Event{n: n, gen: n.gen}
 }
 
-// Cancel prevents a scheduled event from firing. Cancelling an event that
-// already fired or was already cancelled is a harmless no-op; in
-// particular, cancelling a fired event does not retroactively mark it
-// Canceled. Because events at equal time execute in scheduling (seq)
-// order, whether a cancel issued from event A reaches a same-timestamp
-// event B before B fires is fully determined by their seq order — there
-// is no race, and the outcome is identical on every run.
-func (e *Engine) Cancel(ev *Event) {
-	if ev == nil || ev.canceled || ev.fired {
+// Reschedule moves a pending event to fire after delay seconds of virtual
+// time, assigning it a fresh sequence number — exactly as if it had been
+// cancelled and scheduled anew, but without the queue churn. netsim's
+// reflow leans on the equivalence: rescheduling every completion event in
+// admission order consumes sequence numbers identically to the
+// cancel+schedule pattern it replaced, which keeps the (time, seq) event
+// order — and therefore simulation Results — byte-identical. Rescheduling
+// an event that fired, was cancelled, or whose node was recycled is a
+// caller bug and panics.
+func (e *Engine) Reschedule(ev Event, delay Time) {
+	if math.IsNaN(delay) || delay < 0 {
+		panic(fmt.Sprintf("desim: Reschedule with invalid delay %v", delay))
+	}
+	n := ev.n
+	if n == nil || n.gen != ev.gen || n.canceled || n.fired || n.index < 0 {
+		panic("desim: Reschedule of a dead or stale event")
+	}
+	n.at = e.now + delay
+	n.seq = e.seq
+	e.seq++
+	// The new seq is the largest in the queue, so among equal times the
+	// node sinks to the back — the same slot a fresh Schedule would take.
+	if !e.siftDown(int(n.index)) {
+		e.siftUp(int(n.index))
+	}
+}
+
+// Cancel prevents a scheduled event from firing. Cancelling a zero handle,
+// or an event that already fired or was already cancelled, is a harmless
+// no-op; in particular, cancelling a fired event does not retroactively
+// mark it Canceled. Because events at equal time execute in scheduling
+// (seq) order, whether a cancel issued from event A reaches a
+// same-timestamp event B before B fires is fully determined by their seq
+// order — there is no race, and the outcome is identical on every run.
+//
+// Cancellation is lazy: the node stays queued, marked dead, and is
+// dropped when it reaches the top (or in a batched compaction once dead
+// nodes outnumber live ones), so Cancel itself is O(1).
+func (e *Engine) Cancel(ev Event) {
+	n := ev.n
+	if n == nil || n.gen != ev.gen || n.canceled || n.fired {
 		return
 	}
-	if ev.index < 0 {
-		// Scheduled but already popped would imply fired; a negative index
-		// on an unfired, uncancelled event only occurs for events never in
-		// the heap, which At never produces. Mark defensively.
-		ev.canceled = true
+	n.canceled = true
+	e.live--
+	if n.index < 0 {
+		// A live event is always queued (At pushes, Step marks fired
+		// before running the callback); release defensively rather than
+		// leak if that invariant ever breaks.
+		e.release(n)
 		return
 	}
-	ev.canceled = true
-	heap.Remove(&e.queue, ev.index)
-	ev.index = -1
+	e.dead++
+	if e.dead > 64 && e.dead*2 > len(e.queue) {
+		e.compact()
+	}
 }
 
 // Step executes the single next event, advancing the clock to its time.
 // It returns false when no events remain.
 func (e *Engine) Step() bool {
 	for len(e.queue) > 0 {
-		ev := heap.Pop(&e.queue).(*Event)
-		if ev.canceled {
+		n := e.popTop()
+		if n.canceled {
+			e.dead--
+			e.release(n)
 			continue
 		}
-		e.now = ev.at
+		e.now = n.at
 		e.fired++
-		ev.fired = true
-		ev.fn()
+		e.live--
+		n.fired = true
+		fn := n.fn
+		fn()
+		e.release(n)
 		return true
 	}
 	return false
@@ -141,8 +238,8 @@ func (e *Engine) Run() {
 func (e *Engine) RunUntil(horizon Time) {
 	e.stopped = false
 	for !e.stopped {
-		ev := e.peek()
-		if ev == nil || ev.at > horizon {
+		n := e.peek()
+		if n == nil || n.at > horizon {
 			break
 		}
 		e.Step()
@@ -156,44 +253,149 @@ func (e *Engine) RunUntil(horizon Time) {
 // completes. Intended to be called from inside an event callback.
 func (e *Engine) Stop() { e.stopped = true }
 
-func (e *Engine) peek() *Event {
+// peek returns the next live node without popping it, draining any dead
+// nodes blocking the top.
+func (e *Engine) peek() *node {
 	for len(e.queue) > 0 {
-		if e.queue[0].canceled {
-			heap.Pop(&e.queue)
+		n := e.queue[0]
+		if n.canceled {
+			e.popTop()
+			e.dead--
+			e.release(n)
 			continue
 		}
-		return e.queue[0]
+		return n
 	}
 	return nil
 }
 
-// eventHeap orders events by (time, sequence), giving a strict deterministic
-// total order.
-type eventHeap []*Event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
+// alloc takes a node from the free list (bumping its generation, which
+// invalidates any handle to its previous occupant) or makes a fresh one.
+func (e *Engine) alloc() *node {
+	if k := len(e.free) - 1; k >= 0 {
+		n := e.free[k]
+		e.free[k] = nil
+		e.free = e.free[:k]
+		n.gen++
+		n.canceled = false
+		n.fired = false
+		return n
 	}
-	return h[i].seq < h[j].seq
+	return &node{index: -1}
 }
-func (h eventHeap) Swap(i, j int) {
-	h[i], h[j] = h[j], h[i]
-	h[i].index = i
-	h[j].index = j
+
+// release returns a node whose lifecycle ended (fired, or cancelled and
+// drained) to the free list. Its outcome flags stay readable through old
+// handles until the node is reused.
+func (e *Engine) release(n *node) {
+	n.fn = nil
+	n.index = -1
+	e.free = append(e.free, n)
 }
-func (h *eventHeap) Push(x any) {
-	ev := x.(*Event)
-	ev.index = len(*h)
-	*h = append(*h, ev)
+
+// compact drops every cancelled node from the queue in one pass and
+// restores the heap property bottom-up. Only the internal layout changes:
+// the (time, seq) pop order of live events — the determinism contract —
+// is unaffected.
+func (e *Engine) compact() {
+	q := e.queue
+	w := 0
+	for _, n := range q {
+		if n.canceled {
+			e.release(n)
+			continue
+		}
+		q[w] = n
+		n.index = int32(w)
+		w++
+	}
+	for i := w; i < len(q); i++ {
+		q[i] = nil
+	}
+	e.queue = q[:w]
+	e.dead = 0
+	if w > 1 {
+		for i := (w - 2) / 4; i >= 0; i-- {
+			e.siftDown(i)
+		}
+	}
 }
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	ev := old[n-1]
-	old[n-1] = nil
-	ev.index = -1
-	*h = old[:n-1]
-	return ev
+
+// nodeLess orders nodes by (time, sequence), the deterministic total order.
+func nodeLess(a, b *node) bool {
+	return a.at < b.at || (a.at == b.at && a.seq < b.seq)
+}
+
+func (e *Engine) push(n *node) {
+	n.index = int32(len(e.queue))
+	e.queue = append(e.queue, n)
+	e.siftUp(len(e.queue) - 1)
+}
+
+// popTop removes and returns the root node (not necessarily live).
+func (e *Engine) popTop() *node {
+	q := e.queue
+	top := q[0]
+	last := len(q) - 1
+	if last > 0 {
+		moved := q[last]
+		q[0] = moved
+		moved.index = 0
+	}
+	q[last] = nil
+	e.queue = q[:last]
+	if last > 1 {
+		e.siftDown(0)
+	}
+	top.index = -1
+	return top
+}
+
+func (e *Engine) siftUp(i int) {
+	q := e.queue
+	n := q[i]
+	for i > 0 {
+		p := (i - 1) / 4
+		if !nodeLess(n, q[p]) {
+			break
+		}
+		q[i] = q[p]
+		q[i].index = int32(i)
+		i = p
+	}
+	q[i] = n
+	n.index = int32(i)
+}
+
+// siftDown restores the heap below i, reporting whether the node moved.
+func (e *Engine) siftDown(i int) bool {
+	q := e.queue
+	n := q[i]
+	start := i
+	size := len(q)
+	for {
+		c := i*4 + 1
+		if c >= size {
+			break
+		}
+		best := c
+		end := c + 4
+		if end > size {
+			end = size
+		}
+		for j := c + 1; j < end; j++ {
+			if nodeLess(q[j], q[best]) {
+				best = j
+			}
+		}
+		if !nodeLess(q[best], n) {
+			break
+		}
+		q[i] = q[best]
+		q[i].index = int32(i)
+		i = best
+	}
+	q[i] = n
+	n.index = int32(i)
+	return i != start
 }

@@ -83,15 +83,15 @@ func TestCancel(t *testing.T) {
 	if !ev.Canceled() {
 		t.Fatal("event not marked cancelled")
 	}
-	// Double cancel and cancel of nil are no-ops.
+	// Double cancel and cancel of the zero handle are no-ops.
 	e.Cancel(ev)
-	e.Cancel(nil)
+	e.Cancel(Event{})
 }
 
 func TestCancelOneOfMany(t *testing.T) {
 	e := New()
 	var got []int
-	var evs []*Event
+	var evs []Event
 	for i := 0; i < 100; i++ {
 		i := i
 		evs = append(evs, e.Schedule(Time(i%13), func() { got = append(got, i) }))
@@ -207,7 +207,7 @@ func TestQuickCancelSubset(t *testing.T) {
 	f := func(delays []uint8, mask []bool) bool {
 		e := New()
 		fired := make(map[int]bool)
-		var evs []*Event
+		var evs []Event
 		for i, d := range delays {
 			i := i
 			evs = append(evs, e.Schedule(Time(d), func() { fired[i] = true }))
@@ -240,7 +240,7 @@ func TestQuickClockMonotonic(t *testing.T) {
 		e := New()
 		last := Time(0)
 		ok := true
-		var live []*Event
+		var live []Event
 		for i := 0; i < 300; i++ {
 			switch r.Intn(3) {
 			case 0:

@@ -10,9 +10,12 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"runtime"
+	"runtime/pprof"
 	"sort"
+	"strconv"
 	"sync"
 
 	"chicsim/internal/core"
@@ -270,7 +273,17 @@ func Run(c Campaign) []CellResult {
 					c.OnRunStart(c.Cells[t.cell], t.seed)
 				}
 				c.Progress.RunStart()
-				res, err := core.RunConfig(cfg)
+				// Tag the run for CPU profiles: `go tool pprof -tagfocus`
+				// can then attribute samples to a single campaign cell or
+				// seed when hunting kernel hot spots.
+				var res core.Results
+				var err error
+				pprof.Do(context.Background(), pprof.Labels(
+					"cell", c.Cells[t.cell].String(),
+					"seed", strconv.FormatUint(t.seed, 10),
+				), func(context.Context) {
+					res, err = core.RunConfig(cfg)
+				})
 				c.Progress.RunDone(fmt.Sprintf("%v seed=%d", c.Cells[t.cell], t.seed))
 				outcomes <- outcome{cell: t.cell, seed: t.seed, res: res, err: err}
 			}

@@ -11,7 +11,11 @@
 //
 // Whenever any flow starts or finishes, all in-flight flows have their
 // transferred bytes advanced at the old rates and their completion events
-// rescheduled at the new rates.
+// rescheduled at the new rates. The reflow is incremental: only flows
+// sharing a link with the change have their equal-share rate recomputed
+// (the others' shares are provably unchanged), and completion events are
+// moved in place via desim's Reschedule instead of cancel+schedule churn —
+// see DESIGN.md §13 for why this keeps results byte-identical.
 package netsim
 
 import (
@@ -48,16 +52,18 @@ func (p SharingPolicy) String() string {
 // Flow is an in-progress transfer. Exposed fields are read-only snapshots
 // maintained by the Network.
 type Flow struct {
-	ID        int
-	Src, Dst  topology.SiteID
-	Size      float64 // total bytes
-	remaining float64
-	rate      float64 // bytes/sec at last update
-	path      []topology.LinkID
-	done      func(*Flow)
-	ev        *desim.Event
-	started   desim.Time
-	canceled  bool
+	ID         int
+	Src, Dst   topology.SiteID
+	Size       float64 // total bytes
+	remaining  float64
+	rate       float64 // bytes/sec at last update
+	path       []topology.LinkID
+	done       func(*Flow)
+	ev         desim.Event // pending completion event; zero when stalled or inactive
+	completeFn func()      // completion closure, built once at admission
+	ord        int         // index into Network.ordered while active
+	started    desim.Time
+	canceled   bool
 }
 
 // Remaining returns the bytes not yet delivered as of the last rate change.
@@ -89,12 +95,37 @@ type Network struct {
 	onLink  []int   // active flow count per link
 	nextID  int
 
+	// Reflow scratch state, reused across calls so the per-change-point
+	// hot path allocates nothing.
+	linkEpoch []uint64           // epoch mark per link: "touched by the current change"
+	epoch     uint64             // current reflow epoch (bumping it clears all marks)
+	oneLink   [1]topology.LinkID // changed-set buffer for single-link updates
+	lsBuf     []linkState        // maxMin per-link progressive-filling state
+	frozenBuf []bool             // maxMin frozen marks, indexed like ordered
+
 	// Accounting.
 	bytesMoved   float64   // bytes delivered by completed flows
 	transfers    int       // completed transfers
 	linkBusy     []float64 // integral of (active?1:0) dt per link
 	linkBytes    []float64 // bytes attributed per link (Σ rate·dt)
 	lastAccounts desim.Time
+}
+
+// linkState is per-link progressive-filling bookkeeping for maxMin.
+type linkState struct {
+	cap   float64 // capacity not yet claimed by frozen flows
+	count int     // unfrozen flows crossing the link
+}
+
+// consume books a newly frozen flow's share out of the link: the residual
+// capacity drops (clamped at zero against float drift accumulated over
+// filling rounds) and so does the unfrozen-flow count.
+func (s *linkState) consume(rate float64) {
+	s.cap -= rate
+	if s.cap < 0 {
+		s.cap = 0
+	}
+	s.count--
 }
 
 // New creates a network simulator bound to an engine and topology.
@@ -107,6 +138,7 @@ func New(eng *desim.Engine, topo *topology.Topology, policy SharingPolicy) *Netw
 		onLink: make([]int, topo.NumLinks()),
 
 		bwOverride: make([]float64, topo.NumLinks()),
+		linkEpoch:  make([]uint64, topo.NumLinks()),
 		linkBusy:   make([]float64, topo.NumLinks()),
 		linkBytes:  make([]float64, topo.NumLinks()),
 	}
@@ -155,7 +187,8 @@ func (n *Network) SetLinkBandwidth(l topology.LinkID, bytesPerSec float64) {
 	} else {
 		n.bwOverride[l] = bytesPerSec
 	}
-	n.reflow()
+	n.oneLink[0] = l
+	n.reflow(n.oneLink[:])
 }
 
 // Transfer starts moving size bytes from src to dst and calls done when the
@@ -199,12 +232,15 @@ func (n *Network) activate(f *Flow) {
 		return
 	}
 	n.settle()
+	f.ev = desim.Event{} // any startup-latency event has fired by now
+	f.ord = len(n.ordered)
+	f.completeFn = func() { n.complete(f) }
 	n.flows[f.ID] = f
 	n.ordered = append(n.ordered, f)
 	for _, l := range f.path {
 		n.onLink[l]++
 	}
-	n.reflow()
+	n.reflow(f.path)
 }
 
 // Cancel aborts an in-flight transfer; its done callback never fires.
@@ -214,15 +250,13 @@ func (n *Network) Cancel(f *Flow) {
 		return
 	}
 	f.canceled = true
-	if f.ev != nil {
-		n.eng.Cancel(f.ev)
-	}
+	n.eng.Cancel(f.ev)
 	if _, ok := n.flows[f.ID]; !ok {
 		return
 	}
 	n.settle()
 	n.remove(f)
-	n.reflow()
+	n.reflow(f.path)
 }
 
 // ActiveFlows returns the number of in-flight (non-local) transfers.
@@ -364,12 +398,41 @@ func (n *Network) settle() {
 	n.lastAccounts = now
 }
 
-// reflow recomputes all rates under the sharing policy and reschedules each
-// flow's completion event. Must be called with settled accounts.
-func (n *Network) reflow() {
+// reflow recomputes flow rates after a change to the links in changed — a
+// started, finished, or cancelled flow's path, or a link whose bandwidth
+// was overridden — and re-anchors every flow's completion event. Must be
+// called with settled accounts.
+//
+// Byte-identity contract (the golden-hash test enforces it): the
+// pre-optimization reflow recomputed every rate and cancel+rescheduled
+// every completion event at every change point. The equal-share rate of a
+// flow crossing none of the changed links is provably bit-identical (no
+// bandwidth or flow count on its path moved), so skipping its
+// recomputation is exact. Completion *times* must still be re-derived for
+// every flow: remaining/rate recomputed at the new change point differs
+// from the previously scheduled time by float rounding, and the old
+// kernel's results embed exactly that jitter. Each running flow is
+// therefore Rescheduled in admission order, burning engine sequence
+// numbers precisely like the cancel+schedule pair it replaces — see
+// desim.Engine.Reschedule.
+func (n *Network) reflow(changed []topology.LinkID) {
 	switch n.policy {
 	case EqualShare:
+		n.epoch++
+		for _, l := range changed {
+			n.linkEpoch[l] = n.epoch
+		}
 		for _, f := range n.ordered {
+			touched := false
+			for _, l := range f.path {
+				if n.linkEpoch[l] == n.epoch {
+					touched = true
+					break
+				}
+			}
+			if !touched {
+				continue
+			}
 			rate := math.Inf(1)
 			for _, l := range f.path {
 				share := n.linkBandwidth(l) / float64(n.onLink[l])
@@ -385,15 +448,20 @@ func (n *Network) reflow() {
 		panic("netsim: unknown sharing policy")
 	}
 	for _, f := range n.ordered {
-		if f.ev != nil {
-			n.eng.Cancel(f.ev)
-			f.ev = nil
-		}
 		if f.rate <= 0 {
-			continue // stalled (a link on the path is down); no completion
+			// Stalled (a link on the path is down); no completion event.
+			if !f.ev.IsZero() {
+				n.eng.Cancel(f.ev)
+				f.ev = desim.Event{}
+			}
+			continue
 		}
-		f2 := f
-		f.ev = n.eng.Schedule(f.remaining/f.rate, func() { n.complete(f2) })
+		delay := f.remaining / f.rate
+		if f.ev.IsZero() {
+			f.ev = n.eng.Schedule(delay, f.completeFn)
+		} else {
+			n.eng.Reschedule(f.ev, delay)
+		}
 	}
 }
 
@@ -401,15 +469,21 @@ func (n *Network) reflow() {
 // smallest fair share among unfrozen flows, freeze its flows at that rate,
 // and redistribute.
 func (n *Network) maxMin() {
-	type linkState struct {
-		cap   float64
-		count int
+	numLinks := n.topo.NumLinks()
+	if cap(n.lsBuf) < numLinks {
+		n.lsBuf = make([]linkState, numLinks)
 	}
-	ls := make([]linkState, n.topo.NumLinks())
+	ls := n.lsBuf[:numLinks]
 	for i := range ls {
 		ls[i] = linkState{cap: n.linkBandwidth(topology.LinkID(i))}
 	}
-	frozen := make(map[int]bool, len(n.ordered))
+	if cap(n.frozenBuf) < len(n.ordered) {
+		n.frozenBuf = make([]bool, len(n.ordered))
+	}
+	frozen := n.frozenBuf[:len(n.ordered)]
+	for i := range frozen {
+		frozen[i] = false
+	}
 	for _, f := range n.ordered {
 		f.rate = 0
 		for _, l := range f.path {
@@ -434,8 +508,8 @@ func (n *Network) maxMin() {
 		}
 		// Freeze all unfrozen flows crossing the bottleneck at `best`,
 		// in admission order for determinism.
-		for _, f := range n.ordered {
-			if frozen[f.ID] {
+		for i, f := range n.ordered {
+			if frozen[i] {
 				continue
 			}
 			crosses := false
@@ -449,14 +523,10 @@ func (n *Network) maxMin() {
 				continue
 			}
 			f.rate = best
-			frozen[f.ID] = true
+			frozen[i] = true
 			remaining--
 			for _, l := range f.path {
-				ls[l].cap -= best
-				if ls[l].cap < 0 {
-					ls[l].cap = 0
-				}
-				ls[l].count--
+				ls[l].consume(best)
 			}
 		}
 	}
@@ -466,8 +536,9 @@ func (n *Network) maxMin() {
 func (n *Network) complete(f *Flow) {
 	n.settle()
 	f.remaining = 0
+	f.ev = desim.Event{}
 	n.remove(f)
-	n.reflow()
+	n.reflow(f.path)
 	n.finish(f)
 }
 
@@ -476,11 +547,16 @@ func (n *Network) remove(f *Flow) {
 		return
 	}
 	delete(n.flows, f.ID)
-	for i, of := range n.ordered {
-		if of.ID == f.ID {
-			n.ordered = append(n.ordered[:i], n.ordered[i+1:]...)
-			break
-		}
+	i := f.ord
+	if i >= len(n.ordered) || n.ordered[i] != f {
+		panic("netsim: flow ordinal out of sync")
+	}
+	last := len(n.ordered) - 1
+	copy(n.ordered[i:], n.ordered[i+1:])
+	n.ordered[last] = nil
+	n.ordered = n.ordered[:last]
+	for ; i < last; i++ {
+		n.ordered[i].ord = i
 	}
 	for _, l := range f.path {
 		n.onLink[l]--

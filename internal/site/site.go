@@ -349,7 +349,7 @@ func (s *Site) run(j *job.Job) {
 // event, so a site crash or CE failure can kill it deterministically.
 type runningRef struct {
 	j  *job.Job
-	ev *desim.Event
+	ev desim.Event
 }
 
 func (s *Site) complete(j *job.Job) {
