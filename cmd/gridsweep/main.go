@@ -34,9 +34,11 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "all", "which figure to regenerate: 3a, 3b, 4, 5, faults, all")
+	fig := flag.String("fig", "all", "which figure to regenerate: 3a, 3b, 4, 5, faults, feedback, all")
 	siteMTBFs := flag.String("site-mtbf", "0,14400,7200,3600", "comma-separated site-crash MTBFs for -fig faults (s; 0 = failure-free control)")
-	faultMTTR := flag.Float64("fault-mttr", 600, "mean site repair time for -fig faults (s)")
+	faultMTTR := flag.Float64("fault-mttr", 600, "mean site repair time for -fig faults/feedback (s)")
+	fbStaleness := flag.Float64("feedback-staleness", 120, "GIS InfoStaleness for the -fig feedback contended scenario (s)")
+	fbMTBF := flag.Float64("feedback-mtbf", 3600, "site-crash MTBF for the -fig feedback degraded column (s; 0 = skip)")
 	csv := flag.Bool("csv", false, "emit CSV rows instead of tables")
 	md := flag.Bool("md", false, "emit markdown tables (EXPERIMENTS.md format)")
 	quick := flag.Bool("quick", false, "reduced workload (1500 jobs, 1 seed) for a fast check")
@@ -65,7 +67,8 @@ func main() {
 	}
 
 	var mtbfs []float64
-	if *fig == "faults" {
+	switch *fig {
+	case "faults":
 		for _, part := range strings.Split(*siteMTBFs, ",") {
 			v, err := strconv.ParseFloat(strings.TrimSpace(part), 64)
 			if err != nil || v < 0 {
@@ -73,6 +76,11 @@ func main() {
 				os.Exit(2)
 			}
 			mtbfs = append(mtbfs, v)
+		}
+	case "feedback":
+		mtbfs = []float64{0}
+		if *fbMTBF > 0 {
+			mtbfs = append(mtbfs, *fbMTBF)
 		}
 	}
 
@@ -109,6 +117,15 @@ func main() {
 		base.Faults.RequeueOnRecovery = true
 		base.Faults.RestoreReplicas = true
 		cells = experiments.FaultSweepCells(10, mtbfs)
+	case "feedback":
+		// Contended grid: stale scheduling information is what the
+		// telemetry loop compensates for. The degraded column adds site
+		// crashes on top (fault-telemetry avoidance).
+		base.InfoStaleness = *fbStaleness
+		base.Faults.SiteCrash.MTTR = *faultMTTR
+		base.Faults.RequeueOnRecovery = true
+		base.Faults.RestoreReplicas = true
+		cells = experiments.FeedbackSweepCells(10, mtbfs)
 	case "all":
 		cells = append(experiments.PaperCells(10), experiments.PaperCells(100)...)
 	default:
@@ -346,6 +363,8 @@ func render(results []experiments.CellResult, fig string, csv, md bool, mtbfs []
 	switch fig {
 	case "faults":
 		printFaultTable(results, mtbfs)
+	case "feedback":
+		printFeedbackTable(results, mtbfs)
 	case "3a":
 		report.Grid(os.Stdout, results, report.ResponseTime, esNames, dsNames, 10)
 	case "3b":
@@ -448,6 +467,49 @@ func printFaultTable(results []experiments.CellResult, mtbfs []float64) {
 		fmt.Println()
 	}
 	fmt.Println("(! = jobs abandoned after exhausting retries, summed over seeds)")
+}
+
+// printFeedbackTable renders the adaptive-vs-static sweep: one row per
+// scheduler pair, a contended column (stale GIS, no faults) and, when
+// requested, a degraded column (site crashes on top).
+func printFeedbackTable(results []experiments.CellResult, mtbfs []float64) {
+	byCell := make(map[experiments.Cell]*experiments.CellResult, len(results))
+	var pairs []experiments.Cell
+	seen := make(map[experiments.Cell]bool)
+	for i := range results {
+		byCell[results[i].Cell] = &results[i]
+		key := experiments.Cell{ES: results[i].Cell.ES, DS: results[i].Cell.DS,
+			BandwidthMBps: results[i].Cell.BandwidthMBps}
+		if !seen[key] {
+			seen[key] = true
+			pairs = append(pairs, key)
+		}
+	}
+	fmt.Println("Feedback sweep: avg response time (s), contended grid (stale GIS)")
+	fmt.Printf("%-34s", "ES+DS")
+	for _, m := range mtbfs {
+		if m == 0 {
+			fmt.Printf("  %14s", "contended")
+		} else {
+			fmt.Printf("  %5s%8gs", "+mtbf", m)
+		}
+	}
+	fmt.Println()
+	for _, p := range pairs {
+		fmt.Printf("%-34s", p.ES+"+"+p.DS)
+		for _, m := range mtbfs {
+			key := p
+			key.SiteMTBF = m
+			cr, ok := byCell[key]
+			if !ok || cr.Err != nil || len(cr.Runs) == 0 {
+				fmt.Printf("  %14s", "-")
+				continue
+			}
+			fmt.Printf("  %11.0f±%-2.0f", cr.AvgResponseSec, cr.CI95ResponseSec)
+		}
+		fmt.Println()
+	}
+	fmt.Println("(± = 95% CI half-width over seeds)")
 }
 
 // writeReferenceSeries dumps the probe series of the campaign's reference

@@ -1,0 +1,87 @@
+// Command pkgdoccheck fails when any Go package in the module lacks a
+// package doc comment. It walks the tree (skipping testdata and hidden
+// directories), parses each directory's non-test .go files, and requires
+// at least one file to carry a doc comment attached to its package
+// clause. CI runs this so the godoc landing page for every package stays
+// non-empty.
+//
+// Usage:
+//
+//	pkgdoccheck [root]
+//
+// Exits 1 listing each undocumented package, 0 when all are documented.
+package main
+
+import (
+	"fmt"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+func main() {
+	root := "."
+	if len(os.Args) > 1 {
+		root = os.Args[1]
+	}
+	undocumented, err := check(root)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pkgdoccheck:", err)
+		os.Exit(1)
+	}
+	if len(undocumented) > 0 {
+		fmt.Fprintln(os.Stderr, "packages missing a package doc comment:")
+		for _, dir := range undocumented {
+			fmt.Fprintf(os.Stderr, "  %s\n", dir)
+		}
+		os.Exit(1)
+	}
+	fmt.Println("pkgdoccheck: all packages documented")
+}
+
+// check returns the sorted list of directories under root that contain
+// non-test .go files but no package doc comment on any of them.
+func check(root string) ([]string, error) {
+	dirs := make(map[string]bool) // dir -> has doc comment
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		name := d.Name()
+		if d.IsDir() {
+			if path != root && (strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") || name == "testdata" || name == "vendor") {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			return nil
+		}
+		dir := filepath.Dir(path)
+		f, perr := parser.ParseFile(token.NewFileSet(), path, nil, parser.PackageClauseOnly|parser.ParseComments)
+		if perr != nil {
+			return fmt.Errorf("%s: %w", path, perr)
+		}
+		if f.Doc != nil && strings.TrimSpace(f.Doc.Text()) != "" {
+			dirs[dir] = true
+		} else if _, seen := dirs[dir]; !seen {
+			dirs[dir] = false
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var undocumented []string
+	for dir, ok := range dirs {
+		if !ok {
+			undocumented = append(undocumented, dir)
+		}
+	}
+	sort.Strings(undocumented)
+	return undocumented, nil
+}

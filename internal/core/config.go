@@ -14,6 +14,7 @@ import (
 	"chicsim/internal/obs"
 	"chicsim/internal/obs/registry"
 	"chicsim/internal/obs/watchdog"
+	"chicsim/internal/scheduler/feedback"
 	"chicsim/internal/trace"
 	"chicsim/internal/workload"
 )
@@ -130,6 +131,14 @@ type Config struct {
 	ES string
 	LS string
 	DS string
+
+	// Feedback parameterizes the adaptive scheduler pair (extension; see
+	// internal/scheduler/feedback and DESIGN.md §14). Consulted only when
+	// ES is "JobFeedback" or DS is "DataFeedback": a telemetry tracker is
+	// then attached, sampling live queue, link, GIS-age, and fault state
+	// every Feedback.Interval seconds. All-zero weights reduce the pair
+	// exactly to JobDataPresent/DataLeastLoaded.
+	Feedback feedback.Params `json:"feedback,omitzero"`
 
 	// BatchES, when non-empty, replaces the online External Scheduler
 	// with a centralized batch heuristic (BatchMinMin, BatchMaxMin,
@@ -267,6 +276,8 @@ func DefaultConfig() Config {
 		DSInterval:  300,
 		DSThreshold: 3,
 
+		Feedback: feedback.DefaultParams(),
+
 		Mapping:       ESPerSite,
 		InfoStaleness: 30,
 	}
@@ -305,6 +316,9 @@ func (c *Config) Validate() error {
 		return fmt.Errorf("core: Watchdog %v requires ObsInterval > 0 (checks run on the obs tick)", c.Watchdog)
 	}
 	if err := c.Faults.Validate(); err != nil {
+		return err
+	}
+	if err := c.Feedback.Validate(); err != nil {
 		return err
 	}
 	for i, d := range c.Degradations {

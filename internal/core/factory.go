@@ -8,6 +8,7 @@ import (
 	"chicsim/internal/scheduler"
 	"chicsim/internal/scheduler/ds"
 	"chicsim/internal/scheduler/es"
+	"chicsim/internal/scheduler/feedback"
 	"chicsim/internal/scheduler/ls"
 )
 
@@ -30,6 +31,12 @@ func NewExternal(name string, src *rng.Source, avgComputeSec, avgCEs float64) (s
 		return es.Adaptive{Src: src, PullFraction: 0.5}, nil
 	case "JobRegional":
 		return es.Regional{Src: src}, nil
+	case "JobFeedback":
+		// Constructed without a tracker: nil-safe telemetry reads make the
+		// standalone policy behave exactly like JobDataPresent. The
+		// simulation attaches its tracker and Config.Feedback after
+		// construction (see wireFeedback in sim.go).
+		return &feedback.ES{Src: src, AvgComputeSec: avgComputeSec, CEsPerSite: avgCEs}, nil
 	default:
 		return nil, fmt.Errorf("core: unknown external scheduler %q (have %v)", name, ExternalNames())
 	}
@@ -79,6 +86,10 @@ func NewDataset(name string, src *rng.Source) (scheduler.Dataset, error) {
 		return ds.Cascade{Src: src}, nil
 	case "DataBestClient":
 		return ds.BestClient{Src: src}, nil
+	case "DataFeedback":
+		// Tracker and params attached by the simulation (see NewExternal's
+		// JobFeedback case); standalone it matches DataLeastLoaded.
+		return &feedback.DS{Src: src}, nil
 	default:
 		return nil, fmt.Errorf("core: unknown dataset scheduler %q (have %v)", name, DatasetNames())
 	}
@@ -87,7 +98,7 @@ func NewDataset(name string, src *rng.Source) (scheduler.Dataset, error) {
 // ExternalNames lists the available ES algorithms. The first four are the
 // paper's; the rest are extensions.
 func ExternalNames() []string {
-	return []string{"JobRandom", "JobLeastLoaded", "JobDataPresent", "JobLocal", "JobBestCost", "JobAdaptive", "JobRegional"}
+	return []string{"JobRandom", "JobLeastLoaded", "JobDataPresent", "JobLocal", "JobBestCost", "JobAdaptive", "JobRegional", "JobFeedback"}
 }
 
 // PaperExternalNames lists the paper's four ES algorithms in figure order.
@@ -101,7 +112,7 @@ func LocalNames() []string { return []string{"FIFO", "SJF", "LIFO"} }
 // DatasetNames lists the available DS algorithms. The first three are the
 // paper's; the rest are extensions.
 func DatasetNames() []string {
-	return []string{"DataDoNothing", "DataRandom", "DataLeastLoaded", "DataCascade", "DataBestClient"}
+	return []string{"DataDoNothing", "DataRandom", "DataLeastLoaded", "DataCascade", "DataBestClient", "DataFeedback"}
 }
 
 // PaperDatasetNames lists the paper's three DS algorithms in figure order.

@@ -140,6 +140,7 @@ func (s *Simulation) crashSite(sid topology.SiteID) {
 		return
 	}
 	restarts := s.cancelFlowsAt(sid)
+	s.fb.NoteFault(sid)
 	running, dropped := st.Crash(s.fcfg.RequeueOnRecovery)
 	if len(s.lostAt) > 0 {
 		s.lostAt[sid] = nil // whatever was pending restore died with the cache
@@ -212,6 +213,7 @@ func (s *Simulation) redispatch(j *job.Job) {
 	}
 	s.dispatches++
 	s.lm.dispatches.Inc()
+	s.fb.NoteDispatch(target)
 	s.rec.Record(trace.Event{T: s.eng.Now(), Kind: trace.JobDispatched, Job: int(j.ID), Site: int(target)})
 	s.sites[target].Enqueue(j)
 }
@@ -268,6 +270,7 @@ func (o faultOps) FailCE(i int) bool {
 		return false
 	}
 	o.s.rec.Record(trace.Event{T: o.s.eng.Now(), Kind: trace.CEFailed, Site: i})
+	o.s.fb.NoteFault(topology.SiteID(i))
 	if victim != nil {
 		o.s.failJob(victim, topology.SiteID(i))
 	}

@@ -21,7 +21,8 @@ var updateKernelGolden = flag.Bool("update-kernel-golden", false,
 // reproduce bit-for-bit: all 12 ES×DS combos of the paper's campaign, the
 // max-min sharing ablation on a transfer-heavy cell, and two faulted runs
 // (one per sharing policy) that exercise the flow-cancellation matrix and
-// the same-timestamp cancel-race semantics PR 2 pinned.
+// the same-timestamp cancel-race semantics PR 2 pinned, plus the adaptive
+// feedback pair on a stale-GIS grid.
 func kernelGoldenCases() (names []string, cfgs map[string]Config) {
 	base := func() Config {
 		cfg := DefaultConfig()
@@ -59,6 +60,13 @@ func kernelGoldenCases() (names []string, cfgs map[string]Config) {
 	faultedMM := faulted
 	faultedMM.Sharing = netsim.MaxMinFair
 	cfgs["faulted-maxmin"] = faultedMM
+
+	// Adaptive feedback pair on a contended (stale-GIS) grid: pins the
+	// telemetry sampling cadence, EWMA arithmetic, and divert decisions.
+	feedback := base()
+	feedback.ES, feedback.DS = "JobFeedback", "DataFeedback"
+	feedback.InfoStaleness = 120
+	cfgs["feedback"] = feedback
 
 	for name := range cfgs {
 		names = append(names, name)

@@ -15,6 +15,7 @@ import (
 	"chicsim/internal/rng"
 	"chicsim/internal/scheduler"
 	"chicsim/internal/scheduler/es"
+	"chicsim/internal/scheduler/feedback"
 	"chicsim/internal/site"
 	"chicsim/internal/stats"
 	"chicsim/internal/storage"
@@ -121,6 +122,11 @@ type Simulation struct {
 
 	probes      *obs.Registry            // nil unless cfg.ObsInterval > 0
 	idleWindows []map[storage.FileID]int // per site: consecutive access-free DS windows
+
+	// Feedback-scheduling telemetry (see internal/scheduler/feedback).
+	// Nil unless a feedback policy is configured; all hooks are nil-safe.
+	fb       *feedback.Tracker
+	fbParams feedback.Params
 
 	// Live control plane (see livemetrics.go). lm's handles are no-ops
 	// when lmOn is false; wd is nil when the watchdog is off.
@@ -326,6 +332,12 @@ func New(cfg Config) (*Simulation, error) {
 	}
 	s.view = view{s: s, viewer: -1}
 
+	if cfg.ES == "JobFeedback" || cfg.DS == "DataFeedback" {
+		s.fbParams = cfg.Feedback
+		s.fbParams.Normalize()
+		s.fb = feedback.NewTracker(s.fbParams, s.topo, s.eng.Now)
+	}
+
 	avgCompute := cfg.ComputePerGB * (cfg.MinFileGB + cfg.MaxFileGB) / 2 * float64(cfg.InputsPerJob)
 	avgCEs := float64(cfg.MinCEs+cfg.MaxCEs) / 2
 	s.esFor = make([]scheduler.External, cfg.Users)
@@ -338,6 +350,7 @@ func New(cfg Config) (*Simulation, error) {
 			if err != nil {
 				return nil, err
 			}
+			s.wireFeedback(perSite[i])
 		}
 		for u := range s.esFor {
 			s.esFor[u] = perSite[s.wl.UserHome[u]]
@@ -347,6 +360,7 @@ func New(cfg Config) (*Simulation, error) {
 		if err != nil {
 			return nil, err
 		}
+		s.wireFeedback(central)
 		for u := range s.esFor {
 			s.esFor[u] = hostedES{inner: central, host: 0}
 		}
@@ -356,6 +370,7 @@ func New(cfg Config) (*Simulation, error) {
 			if err != nil {
 				return nil, err
 			}
+			s.wireFeedback(s.esFor[u])
 		}
 	default:
 		return nil, fmt.Errorf("core: unknown ES mapping %v", cfg.Mapping)
@@ -364,6 +379,10 @@ func New(cfg Config) (*Simulation, error) {
 	s.dsch, err = NewDataset(cfg.DS, root.Derive("ds"))
 	if err != nil {
 		return nil, err
+	}
+	if fds, ok := s.dsch.(*feedback.DS); ok {
+		fds.Tracker = s.fb
+		fds.Params = s.fbParams
 	}
 	if cfg.BatchES != "" {
 		s.batch, err = NewBatch(cfg.BatchES, avgCompute)
@@ -403,6 +422,35 @@ func New(cfg Config) (*Simulation, error) {
 		s.registerWatchdog()
 	}
 	return s, nil
+}
+
+// wireFeedback attaches the simulation's telemetry tracker and feedback
+// params to a freshly constructed feedback ES (a no-op for every other
+// policy, and for feedback instances on runs without a tracker).
+func (s *Simulation) wireFeedback(e scheduler.External) {
+	if fes, ok := e.(*feedback.ES); ok {
+		fes.Tracker = s.fb
+		fes.Params = s.fbParams
+	}
+}
+
+// telemetry assembles one feedback tracker sample from live state (not
+// the GIS snapshot). Strictly read-only: LinkBacklogBytes deliberately
+// avoids settling the network, so sampling perturbs nothing but the
+// engine's event count.
+func (s *Simulation) telemetry() feedback.Sample {
+	q := make([]int, len(s.sites))
+	for i, st := range s.sites {
+		q[i] = st.QueueLen()
+	}
+	return feedback.Sample{
+		Now:          s.eng.Now(),
+		QueueLens:    q,
+		LinkLoads:    s.net.LinkLoads(),
+		LinkBacklog:  s.net.LinkBacklogBytes(),
+		LinkCapacity: s.net.EffectiveBandwidths(),
+		GISAge:       s.gis.SnapshotAge(),
+	}
 }
 
 // registerProbes installs the standard probe set. Registration order is
@@ -551,6 +599,19 @@ func (s *Simulation) Run() (Results, error) {
 	}
 	if s.probes != nil {
 		s.probes.Attach(s.eng, s.cfg.ObsInterval, func() bool { return !s.finished })
+	}
+	if s.fb != nil {
+		// Prime the tracker at t = 0 (queues empty, links idle) so the
+		// first placements already see Ready() telemetry, then sample on
+		// the feedback interval.
+		s.fb.Observe(s.telemetry())
+		s.eng.Every(s.fbParams.Interval, func() bool {
+			if s.finished {
+				return false
+			}
+			s.fb.Observe(s.telemetry())
+			return true
+		})
 	}
 	if s.lmOn || s.wd != nil {
 		s.attachControlPlane()
@@ -721,6 +782,7 @@ func (s *Simulation) submitNext(u job.UserID) {
 	}
 	s.dispatches++
 	s.lm.dispatches.Inc()
+	s.fb.NoteDispatch(target)
 	s.rec.Record(trace.Event{T: s.eng.Now(), Kind: trace.JobDispatched, Job: int(j.ID), Site: int(target)})
 	s.sites[target].Enqueue(j)
 }
@@ -841,6 +903,7 @@ func (s *Simulation) flushBatch() {
 			}
 			s.dispatches++
 			s.lm.dispatches.Inc()
+			s.fb.NoteDispatch(t)
 			s.rec.Record(trace.Event{T: s.eng.Now(), Kind: trace.JobDispatched, Job: int(j.ID), Site: int(t)})
 			s.sites[t].Enqueue(j)
 		}

@@ -211,6 +211,28 @@ func FaultSweepCells(bandwidthMBps float64, mtbfs []float64) []Cell {
 	return cells
 }
 
+// FeedbackSweepCells returns the adaptive-vs-static sweep: the feedback
+// pair (JobFeedback+DataFeedback) against the paper's strongest static
+// pairs, each at the given bandwidth and at every site-crash MTBF in
+// mtbfs (0 = failure-free column). Run it on a contended base config
+// (e.g. InfoStaleness raised to 120 s) to expose the stale-information
+// herding the telemetry loop corrects.
+func FeedbackSweepCells(bandwidthMBps float64, mtbfs []float64) []Cell {
+	pairs := []struct{ es, ds string }{
+		{"JobFeedback", "DataFeedback"},
+		{"JobDataPresent", "DataLeastLoaded"},
+		{"JobDataPresent", "DataRandom"},
+		{"JobLeastLoaded", "DataLeastLoaded"},
+	}
+	var cells []Cell
+	for _, p := range pairs {
+		for _, mtbf := range mtbfs {
+			cells = append(cells, Cell{ES: p.es, DS: p.ds, BandwidthMBps: bandwidthMBps, SiteMTBF: mtbf})
+		}
+	}
+	return cells
+}
+
 // FullPaperCampaign returns all 72 experiments: 12 pairs × 2 bandwidths
 // (cells) × 3 seeds (replications).
 func FullPaperCampaign(base core.Config) Campaign {

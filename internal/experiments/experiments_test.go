@@ -87,6 +87,53 @@ func TestRunAggregates(t *testing.T) {
 	}
 }
 
+func TestFeedbackSweepCells(t *testing.T) {
+	cells := FeedbackSweepCells(10, []float64{0, 3600})
+	if len(cells) != 8 {
+		t.Fatalf("got %d cells, want 4 pairs × 2 MTBF columns", len(cells))
+	}
+	seen := make(map[Cell]bool)
+	for _, c := range cells {
+		if seen[c] {
+			t.Fatalf("duplicate cell %v", c)
+		}
+		seen[c] = true
+		if c.BandwidthMBps != 10 {
+			t.Fatalf("cell %v: bandwidth not threaded through", c)
+		}
+	}
+	if !seen[Cell{ES: "JobFeedback", DS: "DataFeedback", BandwidthMBps: 10}] {
+		t.Fatal("adaptive pair missing from the sweep")
+	}
+	if !seen[Cell{ES: "JobDataPresent", DS: "DataLeastLoaded", BandwidthMBps: 10}] {
+		t.Fatal("static reference pair missing from the sweep")
+	}
+}
+
+// TestFeedbackRunsDeterministicAcrossWorkerCounts extends the worker-
+// count determinism guarantee to the adaptive pair: the tracker samples
+// on the virtual clock only, so parallel campaign scheduling must not
+// leak into its telemetry.
+func TestFeedbackRunsDeterministicAcrossWorkerCounts(t *testing.T) {
+	base := tinyBase()
+	base.InfoStaleness = 120
+	mk := func(workers int) []CellResult {
+		return Run(Campaign{
+			Base:    base,
+			Cells:   []Cell{{ES: "JobFeedback", DS: "DataFeedback", BandwidthMBps: 10}},
+			Seeds:   []uint64{1, 2, 3},
+			Workers: workers,
+		})
+	}
+	a, b := mk(1), mk(4)
+	if a[0].Err != nil || b[0].Err != nil {
+		t.Fatalf("errs: %v %v", a[0].Err, b[0].Err)
+	}
+	if a[0].AvgResponseSec != b[0].AvgResponseSec || a[0].StdResponseSec != b[0].StdResponseSec {
+		t.Fatal("feedback results depend on worker count")
+	}
+}
+
 func TestRunDeterministicAcrossWorkerCounts(t *testing.T) {
 	mk := func(workers int) []CellResult {
 		return Run(Campaign{

@@ -1,0 +1,245 @@
+// Package tune implements a deterministic hill-climbing optimizer for
+// scheduler policy knobs. It drives full campaign runs (via the
+// experiments package) as its objective function, walking a small set of
+// bounded knobs toward minimum mean response time. Everything is seeded:
+// the same tuner seed over the same objective yields a byte-identical
+// evaluation trajectory, so tuning runs are reproducible experiments in
+// their own right.
+package tune
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"chicsim/internal/core"
+	"chicsim/internal/experiments"
+	"chicsim/internal/rng"
+)
+
+// Knob is one tunable parameter: a bounded axis the climber moves along
+// in Step-sized increments.
+type Knob struct {
+	Name string
+	Min  float64
+	Max  float64
+	Step float64
+}
+
+// Eval is one objective evaluation in the tuner's trajectory.
+type Eval struct {
+	Eval   int       `json:"eval"`   // 1-based evaluation index
+	Values []float64 `json:"values"` // knob settings, in Knob order
+	Score  float64   `json:"score"`  // objective value (lower is better)
+	Best   bool      `json:"best"`   // true when this eval became the incumbent
+}
+
+// Options configures a hill-climb.
+type Options struct {
+	// Seed drives the knob visit order. Same seed + same objective ⇒
+	// identical trajectory.
+	Seed uint64
+	// MaxEvals caps objective evaluations (default 64).
+	MaxEvals int
+	// MaxPasses caps coordinate-descent passes (default 16); the climb
+	// also stops at the first pass with no accepted move.
+	MaxPasses int
+	// Log, when non-nil, receives one JSON line per evaluation as it
+	// happens (the JSONL trajectory stream).
+	Log io.Writer
+	// OnEval, when non-nil, observes each evaluation as it completes.
+	OnEval func(Eval)
+}
+
+// Result is the outcome of a hill-climb.
+type Result struct {
+	Best       []float64 // incumbent knob settings
+	BestScore  float64
+	Evals      int // objective evaluations spent (cache hits excluded)
+	Passes     int // coordinate-descent passes completed
+	Trajectory []Eval
+}
+
+// HillClimb minimizes objective over the knobs by deterministic
+// coordinate descent: starting from start (clamped to bounds), it visits
+// the knobs in seed-shuffled order each pass, tries one Step up and one
+// Step down per knob, and accepts the first strict improvement. Repeated
+// points are served from a cache without re-evaluating (and without
+// appearing in the trajectory). The climb ends when a full pass accepts
+// nothing, or a budget runs out.
+func HillClimb(knobs []Knob, start []float64, objective func([]float64) (float64, error), opt Options) (Result, error) {
+	if len(knobs) == 0 {
+		return Result{}, fmt.Errorf("tune: no knobs")
+	}
+	if len(start) != len(knobs) {
+		return Result{}, fmt.Errorf("tune: %d start values for %d knobs", len(start), len(knobs))
+	}
+	for _, k := range knobs {
+		if k.Step <= 0 || k.Max < k.Min {
+			return Result{}, fmt.Errorf("tune: knob %q has invalid range [%v, %v] step %v", k.Name, k.Min, k.Max, k.Step)
+		}
+	}
+	if opt.MaxEvals <= 0 {
+		opt.MaxEvals = 64
+	}
+	if opt.MaxPasses <= 0 {
+		opt.MaxPasses = 16
+	}
+
+	res := Result{Best: make([]float64, len(knobs))}
+	copy(res.Best, start)
+	for i, k := range knobs {
+		res.Best[i] = clamp(res.Best[i], k.Min, k.Max)
+	}
+
+	cache := make(map[string]float64)
+	evaluate := func(v []float64) (float64, bool, error) {
+		key := pointKey(v)
+		if sc, ok := cache[key]; ok {
+			return sc, false, nil
+		}
+		if res.Evals >= opt.MaxEvals {
+			return 0, false, errBudget
+		}
+		sc, err := objective(v)
+		if err != nil {
+			return 0, false, err
+		}
+		res.Evals++
+		cache[key] = sc
+		return sc, true, nil
+	}
+
+	record := func(v []float64, sc float64, best bool) error {
+		ev := Eval{Eval: res.Evals, Values: append([]float64(nil), v...), Score: sc, Best: best}
+		res.Trajectory = append(res.Trajectory, ev)
+		if opt.OnEval != nil {
+			opt.OnEval(ev)
+		}
+		if opt.Log != nil {
+			line, err := json.Marshal(ev)
+			if err != nil {
+				return err
+			}
+			if _, err := opt.Log.Write(append(line, '\n')); err != nil {
+				return fmt.Errorf("tune: writing trajectory: %w", err)
+			}
+		}
+		return nil
+	}
+
+	sc, _, err := evaluate(res.Best)
+	if err != nil {
+		return res, err
+	}
+	res.BestScore = sc
+	if err := record(res.Best, sc, true); err != nil {
+		return res, err
+	}
+
+	src := rng.New(opt.Seed)
+	order := make([]int, len(knobs))
+	for i := range order {
+		order[i] = i
+	}
+	for pass := 0; pass < opt.MaxPasses; pass++ {
+		shuffle(src, order)
+		improved := false
+		for _, ki := range order {
+			k := knobs[ki]
+			for _, dir := range []float64{+1, -1} {
+				cand := append([]float64(nil), res.Best...)
+				cand[ki] = clamp(cand[ki]+dir*k.Step, k.Min, k.Max)
+				if cand[ki] == res.Best[ki] {
+					continue
+				}
+				sc, fresh, err := evaluate(cand)
+				if err == errBudget {
+					res.Passes = pass
+					return res, nil
+				}
+				if err != nil {
+					return res, err
+				}
+				accepted := sc < res.BestScore
+				if fresh {
+					if rerr := record(cand, sc, accepted); rerr != nil {
+						return res, rerr
+					}
+				}
+				if accepted {
+					res.Best = cand
+					res.BestScore = sc
+					improved = true
+					break // move on to the next knob from the new point
+				}
+			}
+		}
+		res.Passes = pass + 1
+		if !improved {
+			break
+		}
+	}
+	return res, nil
+}
+
+var errBudget = fmt.Errorf("tune: evaluation budget exhausted")
+
+// CampaignObjective adapts a campaign template into a hill-climb
+// objective: each evaluation applies the knob values to a copy of the
+// template's base config (via apply), runs the campaign — reusing its
+// registry, progress, and OnRunDone/OnCellDone callbacks — and scores the
+// mean response time averaged over all cells. Cell errors fail the
+// evaluation.
+func CampaignObjective(template experiments.Campaign, apply func(*core.Config, []float64)) func([]float64) (float64, error) {
+	return func(v []float64) (float64, error) {
+		c := template
+		c.Base = template.Base
+		apply(&c.Base, v)
+		results := experiments.Run(c)
+		sum := 0.0
+		for i := range results {
+			if results[i].Err != nil {
+				return 0, fmt.Errorf("tune: cell %v: %w", results[i].Cell, results[i].Err)
+			}
+			sum += results[i].AvgResponseSec
+		}
+		if len(results) == 0 {
+			return 0, fmt.Errorf("tune: campaign has no cells")
+		}
+		return sum / float64(len(results)), nil
+	}
+}
+
+// pointKey encodes a knob vector as a cache key (exact bit patterns, so
+// only truly identical points collide).
+func pointKey(v []float64) string {
+	var b strings.Builder
+	for i, x := range v {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(strconv.FormatFloat(x, 'g', -1, 64))
+	}
+	return b.String()
+}
+
+func clamp(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// shuffle is an in-place Fisher–Yates over the tuner's own stream.
+func shuffle(src *rng.Source, order []int) {
+	for i := len(order) - 1; i > 0; i-- {
+		j := src.Intn(i + 1)
+		order[i], order[j] = order[j], order[i]
+	}
+}

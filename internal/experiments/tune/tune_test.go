@@ -1,0 +1,141 @@
+package tune
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"reflect"
+	"testing"
+
+	"chicsim/internal/core"
+	"chicsim/internal/experiments"
+)
+
+// bowl is a convex synthetic objective with its minimum at (3, -2).
+func bowl(v []float64) (float64, error) {
+	dx, dy := v[0]-3, v[1]+2
+	return dx*dx + dy*dy, nil
+}
+
+var bowlKnobs = []Knob{
+	{Name: "x", Min: -10, Max: 10, Step: 1},
+	{Name: "y", Min: -10, Max: 10, Step: 1},
+}
+
+func TestHillClimbFindsMinimum(t *testing.T) {
+	res, err := HillClimb(bowlKnobs, []float64{0, 0}, bowl, Options{Seed: 1, MaxEvals: 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Best[0] != 3 || res.Best[1] != -2 {
+		t.Fatalf("converged to %v, want [3 -2]", res.Best)
+	}
+	if res.BestScore != 0 {
+		t.Fatalf("best score %v, want 0", res.BestScore)
+	}
+}
+
+// TestHillClimbDeterministic is the tuner's reproducibility guarantee:
+// the same seed over the same objective must produce an identical
+// trajectory (same evaluations, same order, same incumbents) and an
+// identical JSONL stream.
+func TestHillClimbDeterministic(t *testing.T) {
+	run := func() (Result, string) {
+		var buf bytes.Buffer
+		res, err := HillClimb(bowlKnobs, []float64{-5, 5}, bowl, Options{Seed: 99, MaxEvals: 100, Log: &buf})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res, buf.String()
+	}
+	a, alog := run()
+	b, blog := run()
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("same seed, different results:\n%+v\n%+v", a, b)
+	}
+	if alog != blog {
+		t.Fatalf("same seed, different JSONL streams:\n%s\n%s", alog, blog)
+	}
+	if len(a.Trajectory) < 2 {
+		t.Fatalf("trajectory has %d entries; climb did nothing", len(a.Trajectory))
+	}
+	// The stream must parse back into the trajectory.
+	dec := json.NewDecoder(bytes.NewReader([]byte(alog)))
+	for i := range a.Trajectory {
+		var ev Eval
+		if err := dec.Decode(&ev); err != nil {
+			t.Fatalf("line %d: %v", i, err)
+		}
+		if !reflect.DeepEqual(ev, a.Trajectory[i]) {
+			t.Fatalf("JSONL line %d %+v != trajectory entry %+v", i, ev, a.Trajectory[i])
+		}
+	}
+}
+
+func TestHillClimbBudget(t *testing.T) {
+	calls := 0
+	obj := func(v []float64) (float64, error) {
+		calls++
+		return bowl(v)
+	}
+	res, err := HillClimb(bowlKnobs, []float64{-5, 5}, obj, Options{Seed: 1, MaxEvals: 3})
+	if err != nil {
+		t.Fatalf("budget exhaustion should end the climb cleanly, got %v", err)
+	}
+	if calls != 3 || res.Evals != 3 {
+		t.Fatalf("spent %d calls / %d evals, want exactly 3", calls, res.Evals)
+	}
+}
+
+func TestHillClimbCachesRepeatPoints(t *testing.T) {
+	seen := make(map[string]int)
+	obj := func(v []float64) (float64, error) {
+		seen[pointKey(v)]++
+		return bowl(v)
+	}
+	if _, err := HillClimb(bowlKnobs, []float64{2, -2}, obj, Options{Seed: 5, MaxEvals: 200}); err != nil {
+		t.Fatal(err)
+	}
+	for k, n := range seen {
+		if n > 1 {
+			t.Fatalf("point %s evaluated %d times; cache not working", k, n)
+		}
+	}
+}
+
+// TestCampaignObjectiveDeterministic runs a tiny real campaign twice at
+// the same knob point and requires bit-identical scores — the property
+// that makes cached tuner evaluations trustworthy.
+func TestCampaignObjectiveDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	base := core.DefaultConfig()
+	base.Sites = 6
+	base.Users = 12
+	base.Files = 30
+	base.TotalJobs = 240
+	base.RegionFanout = 3
+	base.ES, base.DS = "JobFeedback", "DataFeedback"
+	base.InfoStaleness = 120
+	template := experiments.Campaign{
+		Base:     base,
+		Cells:    []experiments.Cell{{ES: base.ES, DS: base.DS, BandwidthMBps: 10}},
+		Seeds:    []uint64{1, 2},
+		Workers:  2,
+		DropRuns: true,
+	}
+	apply := func(cfg *core.Config, v []float64) { cfg.Feedback.QueueWeight = v[0] }
+	obj := CampaignObjective(template, apply)
+	a, err := obj([]float64{0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := obj([]float64{0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b || a <= 0 || math.IsNaN(a) {
+		t.Fatalf("objective not deterministic or degenerate: %v vs %v", a, b)
+	}
+}

@@ -299,6 +299,16 @@ func (n *Network) EffectiveBandwidth(l topology.LinkID) float64 {
 	return n.linkBandwidth(l)
 }
 
+// EffectiveBandwidths returns every link's current capacity in bytes/sec
+// (EffectiveBandwidth in bulk) — one telemetry sample for trend trackers.
+func (n *Network) EffectiveBandwidths() []float64 {
+	out := make([]float64, n.topo.NumLinks())
+	for i := range out {
+		out[i] = n.linkBandwidth(topology.LinkID(i))
+	}
+	return out
+}
+
 // LinkLoads returns, per link, the sum of the current rates of the flows
 // crossing it. With correct flow control this never exceeds
 // EffectiveBandwidth for any link — the watchdog's link-capacity

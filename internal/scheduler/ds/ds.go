@@ -67,23 +67,33 @@ func (LeastLoaded) Name() string { return "DataLeastLoaded" }
 
 // Decide implements scheduler.Dataset.
 func (l LeastLoaded) Decide(g scheduler.GridView, self topology.SiteID, popular []scheduler.PopularFile) []scheduler.Replication {
-	neighbors := g.Topology().Siblings(self)
 	var out []scheduler.Replication
 	for _, p := range popular {
-		cands := withoutReplica(g, p.File, neighbors, self)
-		if len(cands) == 0 {
-			all := make([]topology.SiteID, 0, g.NumSites())
-			for s := 0; s < g.NumSites(); s++ {
-				all = append(all, topology.SiteID(s))
-			}
-			cands = withoutReplica(g, p.File, all, self)
-		}
+		cands := CandidateTargets(g, p.File, self)
 		if len(cands) == 0 {
 			continue
 		}
-		out = append(out, scheduler.Replication{File: p.File, Target: pickLeastLoaded(g, cands, l.Src)})
+		out = append(out, scheduler.Replication{File: p.File, Target: PickLeastLoaded(g, cands, l.Src)})
 	}
 	return out
+}
+
+// CandidateTargets returns, in deterministic order, the replication
+// targets DataLeastLoaded considers for file f at site self: the siblings
+// not yet holding f, widening to the whole grid when every sibling already
+// has it. Empty means the file is fully replicated. Exported so
+// telemetry-driven extensions can rank exactly the baseline's candidate
+// set with richer scores.
+func CandidateTargets(g scheduler.GridView, f storage.FileID, self topology.SiteID) []topology.SiteID {
+	cands := WithoutReplica(g, f, g.Topology().Siblings(self), self)
+	if len(cands) == 0 {
+		all := make([]topology.SiteID, 0, g.NumSites())
+		for s := 0; s < g.NumSites(); s++ {
+			all = append(all, topology.SiteID(s))
+		}
+		cands = WithoutReplica(g, f, all, self)
+	}
+	return cands
 }
 
 // Cascade replicates popular data down the hierarchy toward clients: it
@@ -100,11 +110,11 @@ func (c Cascade) Decide(g scheduler.GridView, self topology.SiteID, popular []sc
 	neighbors := g.Topology().Siblings(self)
 	var out []scheduler.Replication
 	for _, p := range popular {
-		cands := withoutReplica(g, p.File, neighbors, self)
+		cands := WithoutReplica(g, p.File, neighbors, self)
 		if len(cands) == 0 {
 			continue // tier saturated: cascading stops here
 		}
-		out = append(out, scheduler.Replication{File: p.File, Target: pickLeastLoaded(g, cands, c.Src)})
+		out = append(out, scheduler.Replication{File: p.File, Target: PickLeastLoaded(g, cands, c.Src)})
 	}
 	return out
 }
@@ -140,8 +150,8 @@ func (b BestClient) Decide(g scheduler.GridView, self topology.SiteID, popular [
 	return out
 }
 
-// withoutReplica filters sites down to those not holding f, excluding self.
-func withoutReplica(g scheduler.GridView, f storage.FileID, sites []topology.SiteID, self topology.SiteID) []topology.SiteID {
+// WithoutReplica filters sites down to those not holding f, excluding self.
+func WithoutReplica(g scheduler.GridView, f storage.FileID, sites []topology.SiteID, self topology.SiteID) []topology.SiteID {
 	var out []topology.SiteID
 	for _, s := range sites {
 		if s != self && !g.HasReplica(f, s) {
@@ -151,9 +161,9 @@ func withoutReplica(g scheduler.GridView, f storage.FileID, sites []topology.Sit
 	return out
 }
 
-// pickLeastLoaded returns the least-loaded candidate, breaking ties
+// PickLeastLoaded returns the least-loaded candidate, breaking ties
 // uniformly at random.
-func pickLeastLoaded(g scheduler.GridView, cands []topology.SiteID, tie *rng.Source) topology.SiteID {
+func PickLeastLoaded(g scheduler.GridView, cands []topology.SiteID, tie *rng.Source) topology.SiteID {
 	best := cands[:1]
 	bestLoad := g.Load(cands[0])
 	for _, c := range cands[1:] {

@@ -85,12 +85,22 @@ func (DataPresent) Name() string { return "JobDataPresent" }
 
 // Place implements scheduler.External.
 func (d DataPresent) Place(g scheduler.GridView, j *job.Job) topology.SiteID {
+	return leastLoaded(g, DataPresentCandidates(g, j), d.Src)
+}
+
+// DataPresentCandidates returns, in deterministic order, the candidate
+// sites JobDataPresent ranks for job j: the holders of its single input
+// (or, with multiple inputs, the sites holding the largest resident share
+// of its input bytes), widening to every site when nothing qualifies. The
+// result is never empty. Exported so telemetry-driven extensions can rank
+// exactly the baseline's candidate set with richer scores.
+func DataPresentCandidates(g scheduler.GridView, j *job.Job) []topology.SiteID {
 	if len(j.Inputs) == 1 {
 		reps := g.Replicas(j.Inputs[0])
 		if len(reps) == 0 {
-			return leastLoaded(g, allSites(g), d.Src)
+			return allSites(g)
 		}
-		return leastLoaded(g, reps, d.Src)
+		return reps
 	}
 	// Multi-input extension: maximize resident input bytes.
 	bytesAt := make(map[topology.SiteID]float64)
@@ -101,7 +111,7 @@ func (d DataPresent) Place(g scheduler.GridView, j *job.Job) topology.SiteID {
 		}
 	}
 	if len(bytesAt) == 0 {
-		return leastLoaded(g, allSites(g), d.Src)
+		return allSites(g)
 	}
 	bestBytes := -1.0
 	var cands []topology.SiteID
@@ -118,7 +128,7 @@ func (d DataPresent) Place(g scheduler.GridView, j *job.Job) topology.SiteID {
 			cands = append(cands, s)
 		}
 	}
-	return leastLoaded(g, cands, d.Src)
+	return cands
 }
 
 // Regional is an extension for tiered grids: run the job within the
