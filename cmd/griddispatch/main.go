@@ -1,0 +1,71 @@
+// Command griddispatch runs the campaign fabric dispatcher: it owns the
+// shard queue for one campaign at a time, leases shards to gridworker
+// daemons, requeues shards whose worker died, and merges streamed
+// CellRecords back into the canonical JSONL a single-process gridsweep
+// run would have written.
+//
+// Usage:
+//
+//	griddispatch -listen :7171 -journal campaign.journal
+//
+// Submit work with `gridsweep -dispatch http://host:7171 ...` and start
+// one or more `gridworker -dispatcher http://host:7171` daemons. The
+// journal makes a partial campaign resumable: restart griddispatch with
+// the same -journal and completed shards are not re-run.
+//
+// The listener also serves the monitor surface: /metrics (Prometheus),
+// /status (fabric state JSON), /events (SSE shard lifecycle events).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"chicsim/internal/fabric"
+)
+
+func main() {
+	listen := flag.String("listen", ":7171", "dispatcher listen address")
+	journal := flag.String("journal", "", "queue journal path (JSONL); resumes the campaign in it if present")
+	lease := flag.Float64("lease", 60, "shard lease duration (s); a worker silent this long forfeits its shards")
+	maxAttempts := flag.Int("max-attempts", 5, "bookings per shard before it is abandoned as failed")
+	mergedOut := flag.String("out", "", "also write the merged canonical JSONL stream to this file")
+	manifestOut := flag.String("manifest", "", "write a merged run manifest (worker/shard provenance) to this file")
+	quiet := flag.Bool("quiet", false, "suppress per-shard log lines")
+	flag.Parse()
+
+	logger := log.New(os.Stderr, "", log.LstdFlags)
+	logf := logger.Printf
+	if *quiet {
+		logf = func(string, ...any) {}
+	}
+
+	d, err := fabric.NewDispatcher(fabric.Options{
+		LeaseSeconds: *lease,
+		MaxAttempts:  *maxAttempts,
+		JournalPath:  *journal,
+		MergedPath:   *mergedOut,
+		ManifestPath: *manifestOut,
+		Logf:         logf,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "griddispatch:", err)
+		os.Exit(1)
+	}
+	srv, err := fabric.Serve(*listen, d)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "griddispatch:", err)
+		os.Exit(1)
+	}
+	logger.Printf("griddispatch: listening on http://%s (/api /metrics /status /events)", srv.Addr())
+
+	sigc := make(chan os.Signal, 2)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	<-sigc
+	logger.Printf("griddispatch: shutting down (journal keeps completed shards)")
+	srv.Close()
+}

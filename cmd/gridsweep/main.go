@@ -12,9 +12,12 @@
 //	gridsweep -jsonl out.jsonl # stream each finished cell to a JSONL file
 //	gridsweep -from-jsonl f    # regenerate reports from a streamed file
 //	gridsweep -listen :8080    # live /metrics, /status, /events while running
+//	gridsweep -dispatch URL    # shard the campaign across a fabric dispatcher
 package main
 
 import (
+	"bytes"
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -23,9 +26,11 @@ import (
 	"strings"
 	"sync"
 	"syscall"
+	"time"
 
 	"chicsim/internal/core"
 	"chicsim/internal/experiments"
+	"chicsim/internal/fabric"
 	"chicsim/internal/obs"
 	"chicsim/internal/obs/monitor"
 	"chicsim/internal/obs/registry"
@@ -48,6 +53,7 @@ func main() {
 	progressJSONL := flag.String("progress-jsonl", "", "stream per-simulation progress records to this JSONL file")
 	jsonlPath := flag.String("jsonl", "", "stream each completed cell's result to this JSONL file as the campaign runs")
 	fromJSONL := flag.String("from-jsonl", "", "skip the campaign and regenerate reports from a previously streamed -jsonl file")
+	dispatch := flag.String("dispatch", "", "submit the campaign to a fabric dispatcher (griddispatch URL) and wait for the merged result instead of simulating locally")
 	obsFlags := obs.BindFlags(flag.CommandLine)
 	flag.Parse()
 
@@ -87,8 +93,22 @@ func main() {
 	if *fromJSONL != "" {
 		results, err := experiments.ReadStreamFile(*fromJSONL)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "gridsweep:", err)
-			os.Exit(1)
+			// A campaign killed mid-write leaves a truncated final line;
+			// every intact record before it is still good.
+			if len(results) == 0 {
+				fmt.Fprintln(os.Stderr, "gridsweep:", err)
+				os.Exit(1)
+			}
+			fmt.Fprintf(os.Stderr, "gridsweep: warning: %v; recovering the %d intact cells before it\n",
+				err, len(results))
+		}
+		// At-least-once delivery (fabric workers, resumed campaigns) can
+		// leave duplicate or out-of-order records; last write wins per cell.
+		var superseded int
+		results, superseded = experiments.Canonicalize(results)
+		if superseded > 0 {
+			fmt.Fprintf(os.Stderr, "gridsweep: warning: %d duplicate cell records in %s superseded (last write wins)\n",
+				superseded, *fromJSONL)
 		}
 		fmt.Fprintf(os.Stderr, "gridsweep: rebuilding reports from %d streamed cells in %s\n",
 			len(results), *fromJSONL)
@@ -131,6 +151,11 @@ func main() {
 	default:
 		fmt.Fprintf(os.Stderr, "gridsweep: unknown figure %q\n", *fig)
 		os.Exit(2)
+	}
+
+	if *dispatch != "" {
+		runDispatched(*dispatch, base, cells, seedList, obsFlags, *jsonlPath, *fig, *csv, *md, mtbfs)
+		return
 	}
 
 	totalSims := len(cells) * len(seedList)
@@ -331,6 +356,92 @@ func main() {
 	}
 
 	render(results, *fig, *csv, *md, mtbfs)
+}
+
+// runDispatched shards the campaign across a fabric dispatcher instead of
+// simulating locally: submit the spec, wait for the merged stream, then
+// render reports from it. Because workers execute cells through the same
+// experiments.Run path and the dispatcher merges records into canonical
+// campaign order, the stream — and every report rendered from it — is
+// byte-identical to a single-process run.
+func runDispatched(addr string, base core.Config, cells []experiments.Cell, seeds []uint64,
+	obsFlags *obs.Flags, jsonlPath, fig string, csv, md bool, mtbfs []float64) {
+	if obsFlags.ListenAddr != "" || obsFlags.MetricsPath != "" || obsFlags.WatchdogMode != "off" {
+		fmt.Fprintln(os.Stderr, "gridsweep: -listen/-metrics-out/-watchdog run on the dispatcher and workers; ignoring in -dispatch mode")
+	}
+	spec := fabric.CampaignSpec{Base: base, Cells: cells, Seeds: seeds}
+	client := &fabric.Client{BaseURL: addr}
+	sub, err := client.Submit(spec)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "gridsweep:", err)
+		os.Exit(1)
+	}
+	if sub.Resumed {
+		fmt.Fprintf(os.Stderr, "gridsweep: attached to campaign %s already on dispatcher %s\n", sub.CampaignID, addr)
+	} else {
+		fmt.Fprintf(os.Stderr, "gridsweep: submitted campaign %s (%d cells × %d seeds) to %s\n",
+			sub.CampaignID, len(cells), len(seeds), addr)
+	}
+
+	var manifest *obs.Manifest
+	if obsFlags.ManifestPath != "" {
+		manifest, err = obs.NewManifest("gridsweep", base, seeds)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "gridsweep:", err)
+			os.Exit(1)
+		}
+		manifest.SetExtra("cells", len(cells))
+		manifest.SetExtra("dispatcher", addr)
+		manifest.SetExtra("campaign_id", sub.CampaignID)
+	}
+
+	// Ctrl-C stops the wait, not the campaign: the fabric keeps running
+	// and rerunning gridsweep with the same flags re-attaches.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	lastLine := ""
+	merged, err := client.WaitMerged(ctx, sub.CampaignID, time.Second, func(doc fabric.StateDoc) {
+		done := doc.Counts["completed"] + doc.Counts["failed"]
+		line := fmt.Sprintf("gridsweep: fabric: %d/%d shards done, %d executing, %d workers",
+			done, len(doc.Shards), doc.Counts["executing"], len(doc.Workers))
+		if line != lastLine {
+			fmt.Fprintln(os.Stderr, line)
+			lastLine = line
+		}
+	})
+	if err != nil {
+		if ctx.Err() != nil {
+			fmt.Fprintln(os.Stderr, "gridsweep: wait interrupted; the campaign keeps running on the dispatcher (rerun to re-attach)")
+			os.Exit(130)
+		}
+		fmt.Fprintln(os.Stderr, "gridsweep:", err)
+		os.Exit(1)
+	}
+	if jsonlPath != "" {
+		if werr := os.WriteFile(jsonlPath, merged, 0o644); werr != nil {
+			fmt.Fprintln(os.Stderr, "gridsweep:", werr)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "gridsweep: wrote merged stream (%d cells) to %s\n", len(cells), jsonlPath)
+	}
+	results, err := experiments.ReadStream(bytes.NewReader(merged))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "gridsweep:", err)
+		os.Exit(1)
+	}
+	for i := range results {
+		if results[i].Err != nil {
+			fmt.Fprintf(os.Stderr, "gridsweep: %v failed: %v\n", results[i].Cell, results[i].Err)
+		}
+	}
+	if manifest != nil {
+		manifest.Finish()
+		if err := manifest.WriteFile(obsFlags.ManifestPath); err != nil {
+			fmt.Fprintln(os.Stderr, "gridsweep:", err)
+			os.Exit(1)
+		}
+	}
+	render(results, fig, csv, md, mtbfs)
 }
 
 // render writes the requested report for results, whether they came from a

@@ -1,0 +1,107 @@
+// Command gridworker is a campaign fabric worker daemon: it registers
+// with a griddispatch dispatcher, pulls shard jobs whenever it has free
+// capacity, executes each shard through the ordinary experiments.Run
+// path, heartbeats while executing, and uploads CellRecords.
+//
+// Usage:
+//
+//	gridworker -dispatcher http://host:7171 -capacity 4
+//
+// By default the daemon exits once the current campaign merges; -stay
+// keeps it polling for future campaigns. -manifest writes a worker-side
+// run manifest recording which shards this worker produced.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"runtime"
+	"sync"
+	"syscall"
+
+	"chicsim/internal/experiments"
+	"chicsim/internal/fabric"
+	"chicsim/internal/obs"
+)
+
+func main() {
+	dispatcher := flag.String("dispatcher", "http://127.0.0.1:7171", "dispatcher base URL")
+	name := flag.String("name", "", "worker name for logs and provenance (default host:pid)")
+	capacity := flag.Int("capacity", runtime.GOMAXPROCS(0), "shards executed concurrently")
+	stay := flag.Bool("stay", false, "keep polling for new campaigns after the current one merges")
+	manifestOut := flag.String("manifest", "", "write a worker run manifest (shards produced) to this file")
+	quiet := flag.Bool("quiet", false, "suppress per-shard log lines")
+	flag.Parse()
+
+	logger := log.New(os.Stderr, "", log.LstdFlags)
+	logf := logger.Printf
+	if *quiet {
+		logf = func(string, ...any) {}
+	}
+	if *name == "" {
+		host, _ := os.Hostname()
+		*name = fmt.Sprintf("%s:%d", host, os.Getpid())
+	}
+
+	var mu sync.Mutex
+	var produced []obs.ShardProvenance
+	w := &fabric.Worker{
+		Dispatcher: *dispatcher,
+		Name:       *name,
+		Capacity:   *capacity,
+		KeepAlive:  *stay,
+		Logf:       logf,
+		OnShardDone: func(shard fabric.Shard, _ experiments.CellRecord) {
+			mu.Lock()
+			produced = append(produced, obs.ShardProvenance{
+				Index: shard.Index, Cell: shard.Cell.String(), Worker: *name,
+			})
+			mu.Unlock()
+		},
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	sigc := make(chan os.Signal, 2)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		<-sigc
+		logger.Printf("gridworker: interrupted; abandoning leases")
+		cancel()
+	}()
+
+	var manifest *obs.Manifest
+	if *manifestOut != "" {
+		var err error
+		manifest, err = obs.NewManifest("gridworker", map[string]any{"dispatcher": *dispatcher}, nil)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "gridworker:", err)
+			os.Exit(1)
+		}
+		host, _ := os.Hostname()
+		manifest.SetExtra("worker", *name)
+		manifest.SetExtra("host", host)
+		manifest.SetExtra("capacity", *capacity)
+	}
+
+	err := w.Run(ctx)
+	if manifest != nil {
+		mu.Lock()
+		manifest.SetShards(produced)
+		mu.Unlock()
+		if err != nil {
+			manifest.MarkInterrupted()
+		}
+		manifest.Finish()
+		if werr := manifest.WriteFile(*manifestOut); werr != nil {
+			fmt.Fprintln(os.Stderr, "gridworker:", werr)
+		}
+	}
+	if err != nil && err != context.Canceled {
+		fmt.Fprintln(os.Stderr, "gridworker:", err)
+		os.Exit(1)
+	}
+}

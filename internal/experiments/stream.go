@@ -2,10 +2,12 @@ package experiments
 
 import (
 	"bufio"
+	"compress/gzip"
 	"encoding/json"
 	"fmt"
 	"io"
 	"os"
+	"strings"
 	"sync"
 
 	"chicsim/internal/core"
@@ -77,24 +79,35 @@ func (rec CellRecord) CellResult() CellResult {
 
 // StreamWriter appends CellRecords to a JSONL file, flushing after every
 // record so an interrupted campaign leaves every completed cell on disk.
-// Safe for concurrent use (writes are serialized by a mutex, though the
-// campaign collector already serializes its OnCellDone calls).
+// Paths ending in ".gz" are gzip-compressed transparently (same
+// convention as internal/trace.CreateWriter). Safe for concurrent use
+// (writes are serialized by a mutex, though the campaign collector
+// already serializes its OnCellDone calls).
 type StreamWriter struct {
 	mu  sync.Mutex
 	f   *os.File
+	gz  *gzip.Writer // nil for uncompressed streams
 	bw  *bufio.Writer
 	enc *json.Encoder
 	err error
 }
 
-// CreateStream opens (truncating) a JSONL result stream at path.
+// CreateStream opens (truncating) a JSONL result stream at path,
+// layering gzip when the name ends in ".gz".
 func CreateStream(path string) (*StreamWriter, error) {
 	f, err := os.Create(path)
 	if err != nil {
 		return nil, fmt.Errorf("experiments: creating result stream: %w", err)
 	}
-	bw := bufio.NewWriter(f)
-	return &StreamWriter{f: f, bw: bw, enc: json.NewEncoder(bw)}, nil
+	w := &StreamWriter{f: f}
+	var sink io.Writer = f
+	if strings.HasSuffix(path, ".gz") {
+		w.gz = gzip.NewWriter(f)
+		sink = w.gz
+	}
+	w.bw = bufio.NewWriter(sink)
+	w.enc = json.NewEncoder(w.bw)
+	return w, nil
 }
 
 // Write appends one record and flushes it to the file.
@@ -112,6 +125,14 @@ func (w *StreamWriter) Write(rec CellRecord) error {
 		w.err = err
 		return err
 	}
+	if w.gz != nil {
+		// Sync-flush the gzip layer so each record is recoverable from
+		// disk even if the process dies before Close.
+		if err := w.gz.Flush(); err != nil {
+			w.err = err
+			return err
+		}
+	}
 	return nil
 }
 
@@ -122,11 +143,16 @@ func (w *StreamWriter) Err() error {
 	return w.err
 }
 
-// Close flushes and closes the stream.
+// Close flushes and closes every layer of the stream.
 func (w *StreamWriter) Close() error {
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	ferr := w.bw.Flush()
+	if w.gz != nil {
+		if zerr := w.gz.Close(); ferr == nil {
+			ferr = zerr
+		}
+	}
 	cerr := w.f.Close()
 	if w.err != nil {
 		return w.err
@@ -138,7 +164,10 @@ func (w *StreamWriter) Close() error {
 }
 
 // ReadStream parses a JSONL result stream back into CellResults in file
-// order (the order cells completed, not campaign order).
+// order (the order cells completed, not campaign order). On a decode
+// error — typically a tail truncated by a crash mid-write — the records
+// parsed so far are returned alongside the error, so callers can recover
+// every completed cell from a partial stream.
 func ReadStream(r io.Reader) ([]CellResult, error) {
 	var out []CellResult
 	dec := json.NewDecoder(r)
@@ -153,12 +182,48 @@ func ReadStream(r io.Reader) ([]CellResult, error) {
 	}
 }
 
-// ReadStreamFile reads a JSONL result stream from disk.
+// ReadStreamFile reads a JSONL result stream from disk, gunzipping
+// transparently when the name ends in ".gz" (same convention as
+// internal/trace.OpenLog). Like ReadStream, it returns the parsed
+// prefix alongside any decode error.
 func ReadStreamFile(path string) ([]CellResult, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, fmt.Errorf("experiments: opening result stream: %w", err)
 	}
 	defer f.Close()
-	return ReadStream(bufio.NewReader(f))
+	var r io.Reader = bufio.NewReader(f)
+	if strings.HasSuffix(path, ".gz") {
+		zr, err := gzip.NewReader(r)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: opening %s: %w", path, err)
+		}
+		defer zr.Close()
+		r = zr
+	}
+	return ReadStream(r)
+}
+
+// Canonicalize hardens a streamed result set against the artifacts of
+// at-least-once delivery: duplicate records (fabric upload retries,
+// resumed campaigns appending cells already present) and out-of-order
+// completion. Records are deduped by cell key with last-write-wins —
+// a later record supersedes an earlier one for the same cell, matching
+// "the rerun's result is the current one" semantics — while first-seen
+// order is preserved. It returns the deduped results and how many
+// superseded records were dropped, so callers can warn.
+func Canonicalize(results []CellResult) ([]CellResult, int) {
+	index := make(map[Cell]int, len(results))
+	out := results[:0:0]
+	dropped := 0
+	for _, cr := range results {
+		if at, seen := index[cr.Cell]; seen {
+			out[at] = cr
+			dropped++
+			continue
+		}
+		index[cr.Cell] = len(out)
+		out = append(out, cr)
+	}
+	return out, dropped
 }

@@ -137,6 +137,157 @@ func TestStreamErrRecord(t *testing.T) {
 	}
 }
 
+// TestCanonicalize covers the at-least-once hardening used by
+// `gridsweep -from-jsonl` and the fabric merge: duplicate cell records
+// are deduped last-write-wins while first-seen order is preserved.
+func TestCanonicalize(t *testing.T) {
+	cell := func(es string, bw float64) Cell {
+		return Cell{ES: es, DS: "DataRandom", BandwidthMBps: bw}
+	}
+	rec := func(c Cell, avg float64) CellResult {
+		return CellResult{Cell: c, AvgResponseSec: avg}
+	}
+	a, b, c := cell("JobRandom", 10), cell("JobLeastLoaded", 10), cell("JobRandom", 100)
+
+	in := []CellResult{
+		rec(a, 1), // superseded below
+		rec(b, 2),
+		rec(a, 3), // rerun of a: last write wins, keeps a's slot
+		rec(c, 4),
+		rec(b, 5), // rerun of b
+	}
+	out, dropped := Canonicalize(in)
+	if dropped != 2 {
+		t.Fatalf("dropped = %d, want 2", dropped)
+	}
+	want := []CellResult{rec(a, 3), rec(b, 5), rec(c, 4)}
+	if !reflect.DeepEqual(out, want) {
+		t.Fatalf("canonicalized:\ngot:  %+v\nwant: %+v", out, want)
+	}
+
+	// No duplicates: identity, zero drops.
+	clean := []CellResult{rec(a, 1), rec(b, 2), rec(c, 3)}
+	out, dropped = Canonicalize(clean)
+	if dropped != 0 || !reflect.DeepEqual(out, clean) {
+		t.Fatalf("clean input altered: dropped=%d got=%+v", dropped, out)
+	}
+
+	// Empty and nil inputs survive.
+	if out, dropped = Canonicalize(nil); len(out) != 0 || dropped != 0 {
+		t.Fatalf("nil input: got %d results, %d dropped", len(out), dropped)
+	}
+}
+
+// TestStreamTruncatedTail: a stream whose final record was cut off by a
+// crash mid-write yields every intact record plus an error, so callers
+// can recover the completed prefix.
+func TestStreamTruncatedTail(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "trunc.jsonl")
+	sw, err := CreateStream(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		rec := CellRecord{Cell: Cell{ES: "JobRandom", DS: "DataRandom", BandwidthMBps: float64(i + 1)}}
+		if err := sw.Write(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := sw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	js, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, js[:len(js)-10], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	loaded, err := ReadStreamFile(path)
+	if err == nil {
+		t.Fatal("truncated stream parsed without error")
+	}
+	if len(loaded) != 2 {
+		t.Fatalf("recovered %d records from truncated stream, want 2", len(loaded))
+	}
+	for i, cr := range loaded {
+		if cr.Cell.BandwidthMBps != float64(i+1) {
+			t.Fatalf("record %d: bandwidth %v, want %v", i, cr.Cell.BandwidthMBps, i+1)
+		}
+	}
+}
+
+// TestStreamGzip: paths ending in ".gz" are compressed on write and
+// gunzipped on read (the internal/trace OpenLog/CreateWriter suffix
+// convention), and per-record sync flushing keeps every completed record
+// recoverable even if the process dies before Close.
+func TestStreamGzip(t *testing.T) {
+	dir := t.TempDir()
+	plainPath := filepath.Join(dir, "cells.jsonl")
+	gzPath := filepath.Join(dir, "cells.jsonl.gz")
+
+	recs := []CellRecord{
+		{Cell: Cell{ES: "JobRandom", DS: "DataRandom", BandwidthMBps: 10}, AvgResponseSec: 1.5},
+		{Cell: Cell{ES: "JobLocal", DS: "DataLeastLoaded", BandwidthMBps: 100}, AvgResponseSec: 2.5},
+	}
+	writeAll := func(path string, close bool) {
+		sw, err := CreateStream(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, rec := range recs {
+			if err := sw.Write(rec); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if close {
+			if err := sw.Close(); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	writeAll(plainPath, true)
+	writeAll(gzPath, true)
+
+	// The .gz file really is gzip (magic bytes), and smaller isn't
+	// guaranteed at this size — but it must not be plaintext JSON.
+	raw, err := os.ReadFile(gzPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(raw) < 2 || raw[0] != 0x1f || raw[1] != 0x8b {
+		t.Fatalf("%s does not start with the gzip magic", gzPath)
+	}
+
+	plain, err := ReadStreamFile(plainPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	zipped, err := ReadStreamFile(gzPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(zipped, plain) {
+		t.Fatalf("gzip stream differs from plain stream:\ngz:    %+v\nplain: %+v", zipped, plain)
+	}
+
+	// Crash tolerance: records written but never Closed (no gzip footer)
+	// are still readable thanks to the per-record sync flush.
+	crashPath := filepath.Join(dir, "crash.jsonl.gz")
+	writeAll(crashPath, false) // leak the writer: simulates a dead process
+	recovered, err := ReadStreamFile(crashPath)
+	if err == nil {
+		t.Log("unterminated gzip stream parsed cleanly (acceptable)")
+	}
+	if len(recovered) != len(recs) {
+		t.Fatalf("recovered %d records from unclosed gzip stream, want %d", len(recovered), len(recs))
+	}
+	if !reflect.DeepEqual(recovered, plain) {
+		t.Fatal("records recovered from unclosed gzip stream differ")
+	}
+}
+
 // TestStreamWriterConcurrent exercises the writer's own locking (the
 // campaign serializes OnCellDone, but the writer documents concurrency
 // safety).

@@ -1,0 +1,98 @@
+package fabric
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+
+	"chicsim/internal/experiments"
+)
+
+// The queue journal is an append-only JSONL file recording what the
+// dispatcher must not lose across a restart: the campaign spec and every
+// terminal shard record. Bookings and leases are deliberately absent —
+// they are soft state that reconstructs itself (an in-flight shard simply
+// requeues when the restarted dispatcher never sees its heartbeat).
+
+type journalEntry struct {
+	T          string                  `json:"t"` // "spec", "done", "merged"
+	CampaignID string                  `json:"campaign_id,omitempty"`
+	Spec       *CampaignSpec           `json:"spec,omitempty"`
+	Shard      int                     `json:"shard,omitempty"`
+	Worker     string                  `json:"worker,omitempty"`
+	Host       string                  `json:"host,omitempty"`
+	Attempts   int                     `json:"attempts,omitempty"`
+	Record     *experiments.CellRecord `json:"record,omitempty"`
+}
+
+type journal struct {
+	f   *os.File
+	enc *json.Encoder
+}
+
+// openJournal opens path for appending, creating it if needed.
+func openJournal(path string) (*journal, error) {
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("fabric: opening journal: %w", err)
+	}
+	return &journal{f: f, enc: json.NewEncoder(f)}, nil
+}
+
+// reset truncates the journal (a new campaign replaces a finished one).
+func (j *journal) reset() error {
+	if err := j.f.Truncate(0); err != nil {
+		return fmt.Errorf("fabric: resetting journal: %w", err)
+	}
+	if _, err := j.f.Seek(0, io.SeekStart); err != nil {
+		return fmt.Errorf("fabric: resetting journal: %w", err)
+	}
+	return nil
+}
+
+// append writes one entry and syncs it to disk, so a completed shard
+// survives a dispatcher crash immediately after its upload is acked.
+func (j *journal) append(e journalEntry) error {
+	if err := j.enc.Encode(e); err != nil {
+		return fmt.Errorf("fabric: journal append: %w", err)
+	}
+	if err := j.f.Sync(); err != nil {
+		return fmt.Errorf("fabric: journal sync: %w", err)
+	}
+	return nil
+}
+
+func (j *journal) Close() error {
+	if j == nil {
+		return nil
+	}
+	return j.f.Close()
+}
+
+// readJournal parses the journal at path, tolerating a truncated tail
+// (a crash mid-append): entries after the first undecodable line are
+// dropped and reported via the returned count.
+func readJournal(path string) (entries []journalEntry, dropped bool, err error) {
+	f, err := os.Open(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, false, nil
+		}
+		return nil, false, fmt.Errorf("fabric: opening journal: %w", err)
+	}
+	defer f.Close()
+	dec := json.NewDecoder(bufio.NewReader(f))
+	for {
+		var e journalEntry
+		if derr := dec.Decode(&e); derr == io.EOF {
+			return entries, false, nil
+		} else if derr != nil {
+			// Truncated or corrupt tail: keep the intact prefix. The
+			// shard whose record was cut off simply re-runs.
+			return entries, true, nil
+		}
+		entries = append(entries, e)
+	}
+}

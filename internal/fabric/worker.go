@@ -1,0 +1,308 @@
+package fabric
+
+import (
+	"context"
+	"os"
+	"runtime"
+	"sync"
+	"time"
+
+	"chicsim/internal/experiments"
+)
+
+// Worker is a pull-based execution daemon: it registers with a
+// dispatcher, books shards whenever it has free capacity, executes each
+// shard through the ordinary experiments.Run path, heartbeats while
+// executing, and uploads CellRecords with retry (the dispatcher dedupes).
+type Worker struct {
+	// Dispatcher is the dispatcher base URL, e.g. "http://127.0.0.1:7171".
+	Dispatcher string
+
+	// Name identifies the worker in logs and provenance. Default: host:pid.
+	Name string
+
+	// Host is the capacity attribute reported at registration. Default:
+	// os.Hostname.
+	Host string
+
+	// Capacity is how many shards run concurrently (each shard's seeds
+	// run sequentially, keeping per-shard determinism trivially intact).
+	// Default: GOMAXPROCS.
+	Capacity int
+
+	// Poll is the idle re-book interval. Default 500 ms.
+	Poll time.Duration
+
+	// KeepAlive keeps the daemon polling for future campaigns after the
+	// current one merges; false exits Run once the campaign is done.
+	KeepAlive bool
+
+	// Logf, when non-nil, receives operational log lines.
+	Logf func(format string, args ...any)
+
+	// RunShard executes one shard (test hook). Default ExecuteShard.
+	RunShard func(spec CampaignSpec, shard Shard) experiments.CellRecord
+
+	// OnShardDone, when non-nil, observes every shard this worker
+	// uploaded (provenance for worker-side manifests). Called from shard
+	// goroutines.
+	OnShardDone func(shard Shard, rec experiments.CellRecord)
+
+	// Client overrides the HTTP client (tests). Default: derived from
+	// Dispatcher.
+	Client *Client
+}
+
+// ExecuteShard runs one shard exactly as a single-process campaign would
+// run that cell: same Base, same seeds, aggregates sorted by seed — so
+// the resulting CellRecord is byte-identical to the record a
+// single-process `gridsweep -jsonl` run streams for the cell.
+func ExecuteShard(spec CampaignSpec, shard Shard) experiments.CellRecord {
+	camp := experiments.Campaign{
+		Base:        spec.Base,
+		Cells:       []experiments.Cell{shard.Cell},
+		Seeds:       spec.Seeds,
+		Workers:     1,
+		ObsInterval: spec.ObsInterval,
+	}
+	results := experiments.Run(camp)
+	return experiments.RecordOf(&results[0])
+}
+
+func (w *Worker) logf(format string, args ...any) {
+	if w.Logf != nil {
+		w.Logf(format, args...)
+	}
+}
+
+// Run drives the worker until ctx is canceled or — when KeepAlive is
+// false — the campaign merges and no shards are in flight. Returns nil
+// on a clean campaign-done exit.
+func (w *Worker) Run(ctx context.Context) error {
+	if w.Name == "" {
+		host, _ := os.Hostname()
+		w.Name = host
+	}
+	if w.Host == "" {
+		w.Host, _ = os.Hostname()
+	}
+	if w.Capacity <= 0 {
+		w.Capacity = runtime.GOMAXPROCS(0)
+	}
+	if w.Poll <= 0 {
+		w.Poll = 500 * time.Millisecond
+	}
+	if w.RunShard == nil {
+		w.RunShard = ExecuteShard
+	}
+	c := w.Client
+	if c == nil {
+		c = &Client{BaseURL: w.Dispatcher}
+	}
+
+	st := &workerState{
+		worker:    w,
+		client:    c,
+		executing: make(map[int]Shard),
+		specs:     make(map[string]*CampaignSpec),
+		wake:      make(chan struct{}, 1),
+	}
+	lease, err := st.register(ctx)
+	if err != nil {
+		return err
+	}
+	hbEvery := time.Duration(lease / 3 * float64(time.Second))
+	if hbEvery < 100*time.Millisecond {
+		hbEvery = 100 * time.Millisecond
+	}
+	hb := time.NewTicker(hbEvery)
+	defer hb.Stop()
+	poll := time.NewTimer(0)
+	defer poll.Stop()
+
+	for {
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-hb.C:
+			st.heartbeat()
+		case <-st.wake:
+			if st.tryBook(ctx) {
+				return nil
+			}
+		case <-poll.C:
+			if st.tryBook(ctx) {
+				return nil
+			}
+			poll.Reset(w.Poll)
+		}
+	}
+}
+
+// workerState is the mutable half of a running worker.
+type workerState struct {
+	worker *Worker
+	client *Client
+
+	mu        sync.Mutex
+	id        string
+	executing map[int]Shard
+	specs     map[string]*CampaignSpec
+	wake      chan struct{}
+}
+
+// register retries until the dispatcher admits the worker or ctx ends.
+func (st *workerState) register(ctx context.Context) (lease float64, err error) {
+	w := st.worker
+	for {
+		resp, rerr := st.client.Register(RegisterRequest{
+			Name: w.Name, Host: w.Host, PID: os.Getpid(), Capacity: w.Capacity,
+		})
+		if rerr == nil {
+			st.mu.Lock()
+			st.id = resp.WorkerID
+			st.mu.Unlock()
+			w.logf("gridworker: registered as %s (lease %gs)", resp.WorkerID, resp.LeaseSeconds)
+			return resp.LeaseSeconds, nil
+		}
+		w.logf("gridworker: register: %v (retrying)", rerr)
+		select {
+		case <-ctx.Done():
+			return 0, ctx.Err()
+		case <-time.After(w.Poll):
+		}
+	}
+}
+
+func (st *workerState) workerID() string {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.id
+}
+
+func (st *workerState) inflight() []int {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	idxs := make([]int, 0, len(st.executing))
+	for idx := range st.executing {
+		idxs = append(idxs, idx)
+	}
+	return idxs
+}
+
+func (st *workerState) heartbeat() {
+	idxs := st.inflight()
+	if len(idxs) == 0 {
+		return
+	}
+	resp, err := st.client.Heartbeat(HeartbeatRequest{WorkerID: st.workerID(), Executing: idxs})
+	if err != nil {
+		st.worker.logf("gridworker: heartbeat: %v", err)
+		return
+	}
+	for _, lost := range resp.Lost {
+		// The lease expired (e.g. a long GC pause or dispatcher restart);
+		// the shard is someone else's now. Keep computing — the upload
+		// will be deduped or stale-acked — but say so.
+		st.worker.logf("gridworker: lost lease on shard %d", lost)
+	}
+}
+
+// tryBook books up to the free capacity and launches shard executions.
+// Returns true when the worker should exit (campaign done, KeepAlive
+// off, nothing in flight).
+func (st *workerState) tryBook(ctx context.Context) (exit bool) {
+	w := st.worker
+	st.mu.Lock()
+	free := w.Capacity - len(st.executing)
+	idle := len(st.executing) == 0
+	st.mu.Unlock()
+	if free <= 0 {
+		return false
+	}
+	resp, err := st.client.Book(BookRequest{WorkerID: st.workerID(), Max: free})
+	if err != nil {
+		// Dispatcher restarted and forgot us: re-register and retry on
+		// the next tick.
+		w.logf("gridworker: book: %v", err)
+		if _, rerr := st.register(ctx); rerr != nil {
+			return false
+		}
+		return false
+	}
+	if len(resp.Shards) == 0 {
+		return resp.Done && idle && !w.KeepAlive
+	}
+	spec := st.specFor(resp.CampaignID)
+	if spec == nil {
+		return false
+	}
+	for _, shard := range resp.Shards {
+		st.mu.Lock()
+		st.executing[shard.Index] = shard
+		st.mu.Unlock()
+		go st.execute(ctx, resp.CampaignID, *spec, shard)
+	}
+	return false
+}
+
+// specFor returns (fetching and caching if needed) the spec for a
+// campaign ID, or nil when the dispatcher has moved on.
+func (st *workerState) specFor(id string) *CampaignSpec {
+	st.mu.Lock()
+	spec := st.specs[id]
+	st.mu.Unlock()
+	if spec != nil {
+		return spec
+	}
+	doc, err := st.client.Campaign()
+	if err != nil || doc.CampaignID != id {
+		st.worker.logf("gridworker: campaign %s spec unavailable: %v", id, err)
+		return nil
+	}
+	st.mu.Lock()
+	st.specs[id] = &doc.Spec
+	st.mu.Unlock()
+	return &doc.Spec
+}
+
+// execute runs one shard and uploads its record with retry.
+func (st *workerState) execute(ctx context.Context, campaignID string, spec CampaignSpec, shard Shard) {
+	w := st.worker
+	w.logf("gridworker: executing shard %d (%v)", shard.Index, shard.Cell)
+	rec := w.RunShard(spec, shard)
+	defer func() {
+		st.mu.Lock()
+		delete(st.executing, shard.Index)
+		st.mu.Unlock()
+		select {
+		case st.wake <- struct{}{}:
+		default:
+		}
+	}()
+	for {
+		resp, err := st.client.Result(ResultRequest{
+			WorkerID: st.workerID(), CampaignID: campaignID, Shard: shard.Index, Record: rec,
+		})
+		if err == nil {
+			switch {
+			case resp.Stale:
+				w.logf("gridworker: shard %d result stale (campaign moved on)", shard.Index)
+			case resp.Duplicate:
+				w.logf("gridworker: shard %d result was a duplicate", shard.Index)
+			default:
+				w.logf("gridworker: shard %d (%v) uploaded", shard.Index, shard.Cell)
+			}
+			if w.OnShardDone != nil && !resp.Stale {
+				w.OnShardDone(shard, rec)
+			}
+			return
+		}
+		w.logf("gridworker: upload shard %d: %v (retrying)", shard.Index, err)
+		select {
+		case <-ctx.Done():
+			return
+		case <-time.After(w.Poll):
+		}
+	}
+}

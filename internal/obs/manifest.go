@@ -16,18 +16,35 @@ import (
 // with which configuration (by hash), on which code (git describe), and
 // how long it took. Emit it next to result files so a series or table can
 // always be traced back to the exact run that produced it.
+//
+// Runs that flowed through the campaign fabric additionally carry shard
+// provenance: Merged marks a manifest whose result stream was assembled
+// from worker-produced shards, and Shards attributes each shard to the
+// worker (and host) that produced its record.
 type Manifest struct {
-	Command      string         `json:"command"`
-	Args         []string       `json:"args"`
-	ConfigSHA256 string         `json:"config_sha256"`
-	Seeds        []uint64       `json:"seeds,omitempty"`
-	GitDescribe  string         `json:"git_describe,omitempty"`
-	GoVersion    string         `json:"go_version"`
-	Started      time.Time      `json:"started"`
-	Finished     time.Time      `json:"finished"`
-	WallSeconds  float64        `json:"wall_seconds"`
-	Interrupted  bool           `json:"interrupted,omitempty"`
-	Extra        map[string]any `json:"extra,omitempty"`
+	Command      string            `json:"command"`
+	Args         []string          `json:"args"`
+	ConfigSHA256 string            `json:"config_sha256"`
+	Seeds        []uint64          `json:"seeds,omitempty"`
+	GitDescribe  string            `json:"git_describe,omitempty"`
+	GoVersion    string            `json:"go_version"`
+	Started      time.Time         `json:"started"`
+	Finished     time.Time         `json:"finished"`
+	WallSeconds  float64           `json:"wall_seconds"`
+	Interrupted  bool              `json:"interrupted,omitempty"`
+	Merged       bool              `json:"merged,omitempty"`
+	Shards       []ShardProvenance `json:"shards,omitempty"`
+	Extra        map[string]any    `json:"extra,omitempty"`
+}
+
+// ShardProvenance attributes one campaign shard to the worker that
+// produced its record — who computed what, and on which machine.
+type ShardProvenance struct {
+	Index    int    `json:"index"`
+	Cell     string `json:"cell"`
+	Worker   string `json:"worker"`
+	Host     string `json:"host,omitempty"`
+	Attempts int    `json:"attempts,omitempty"`
 }
 
 // NewManifest starts a manifest for command, hashing the JSON encoding of
@@ -61,6 +78,17 @@ func (m *Manifest) SetExtra(key string, value any) {
 // MarkInterrupted flags the run as cut short by a signal, so downstream
 // consumers know the result files cover only the cells completed so far.
 func (m *Manifest) MarkInterrupted() { m.Interrupted = true }
+
+// MarkMerged flags the manifest as describing a stream merged from
+// fabric shards and records which worker produced each shard.
+func (m *Manifest) MarkMerged(shards []ShardProvenance) {
+	m.Merged = true
+	m.Shards = shards
+}
+
+// SetShards records shard provenance without marking the manifest merged
+// (worker-side manifests: the shards this process produced).
+func (m *Manifest) SetShards(shards []ShardProvenance) { m.Shards = shards }
 
 // Finish stamps the end time and wall duration.
 func (m *Manifest) Finish() {

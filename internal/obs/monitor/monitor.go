@@ -39,6 +39,15 @@ type Server struct {
 // serves until Close. reg may be nil (/metrics serves an empty document);
 // status may be nil (/status serves {}).
 func Start(addr string, reg *registry.Registry, status func() any) (*Server, error) {
+	return StartMux(addr, reg, status, nil)
+}
+
+// StartMux is Start with extra routes mounted alongside the built-in
+// /metrics, /status, and /events — the hook that lets subsystems with
+// their own HTTP surface (the fabric dispatcher's /api/... protocol)
+// reuse the monitor's listener, SSE fan-out, and metrics exposition.
+// Patterns must not collide with the built-ins.
+func StartMux(addr string, reg *registry.Registry, status func() any, extra map[string]http.Handler) (*Server, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("monitor: %w", err)
@@ -49,6 +58,9 @@ func Start(addr string, reg *registry.Registry, status func() any) (*Server, err
 	mux.HandleFunc("/status", s.handleStatus)
 	mux.HandleFunc("/events", s.handleEvents)
 	mux.HandleFunc("/", s.handleIndex)
+	for pattern, h := range extra {
+		mux.Handle(pattern, h)
+	}
 	s.srv = &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
 	go s.srv.Serve(ln) //nolint:errcheck // Serve returns ErrServerClosed on Close
 	return s, nil

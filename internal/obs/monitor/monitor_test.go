@@ -191,6 +191,38 @@ func TestIndexAndNotFound(t *testing.T) {
 	}
 }
 
+// TestStartMuxExtraRoutes: callers (the fabric dispatcher) can mount
+// additional handlers on the monitor's listener without losing the
+// built-in /metrics, /status, /events surface.
+func TestStartMuxExtraRoutes(t *testing.T) {
+	reg := registry.New()
+	reg.Counter("shards_total", "Shards.").With().Add(7)
+	extra := map[string]http.Handler{
+		"/api/ping": http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+			fmt.Fprint(w, "pong")
+		}),
+	}
+	s, err := StartMux("127.0.0.1:0", reg, func() any { return map[string]int{"n": 1} }, extra)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+
+	body, resp := get(t, "http://"+s.Addr()+"/api/ping")
+	if resp.StatusCode != http.StatusOK || body != "pong" {
+		t.Fatalf("extra route: %d %q", resp.StatusCode, body)
+	}
+	body, _ = get(t, "http://"+s.Addr()+"/metrics")
+	if !strings.Contains(body, "shards_total 7") {
+		t.Fatalf("built-in /metrics lost under StartMux:\n%s", body)
+	}
+	body, _ = get(t, "http://"+s.Addr()+"/status")
+	var st map[string]int
+	if err := json.Unmarshal([]byte(body), &st); err != nil || st["n"] != 1 {
+		t.Fatalf("built-in /status lost under StartMux: %q (%v)", body, err)
+	}
+}
+
 func TestCloseDisconnectsSubscribers(t *testing.T) {
 	s, err := Start("127.0.0.1:0", nil, nil)
 	if err != nil {
