@@ -13,19 +13,24 @@
 // journal makes a partial campaign resumable: restart griddispatch with
 // the same -journal and completed shards are not re-run.
 //
-// The listener also serves the monitor surface: /metrics (Prometheus),
-// /status (fabric state JSON), /events (SSE shard lifecycle events).
+// The listener also serves the monitor surface: /metrics (Prometheus,
+// including shard-state and worker-liveness gauges), /status (fabric
+// state JSON), /api/timeline (per-shard event history), /api/fleet
+// (live fleet status), /events (SSE shard lifecycle + fleet events).
+// Logs are structured (-log-level, -log-format) with campaign, shard,
+// and worker attributes on every line.
 package main
 
 import (
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"os"
 	"os/signal"
 	"syscall"
 
 	"chicsim/internal/fabric"
+	"chicsim/internal/obs/logging"
 )
 
 func main() {
@@ -35,13 +40,17 @@ func main() {
 	maxAttempts := flag.Int("max-attempts", 5, "bookings per shard before it is abandoned as failed")
 	mergedOut := flag.String("out", "", "also write the merged canonical JSONL stream to this file")
 	manifestOut := flag.String("manifest", "", "write a merged run manifest (worker/shard provenance) to this file")
-	quiet := flag.Bool("quiet", false, "suppress per-shard log lines")
+	quiet := flag.Bool("quiet", false, "suppress per-shard log lines (same as -log-level error)")
+	logFlags := logging.BindFlags(flag.CommandLine)
 	flag.Parse()
 
-	logger := log.New(os.Stderr, "", log.LstdFlags)
-	logf := logger.Printf
 	if *quiet {
-		logf = func(string, ...any) {}
+		logFlags.Level = "error"
+	}
+	logger, err := logFlags.Logger("griddispatch")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "griddispatch:", err)
+		os.Exit(1)
 	}
 
 	d, err := fabric.NewDispatcher(fabric.Options{
@@ -50,7 +59,7 @@ func main() {
 		JournalPath:  *journal,
 		MergedPath:   *mergedOut,
 		ManifestPath: *manifestOut,
-		Logf:         logf,
+		Logger:       logger,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "griddispatch:", err)
@@ -61,11 +70,13 @@ func main() {
 		fmt.Fprintln(os.Stderr, "griddispatch:", err)
 		os.Exit(1)
 	}
-	logger.Printf("griddispatch: listening on http://%s (/api /metrics /status /events)", srv.Addr())
+	logger.Info("listening", "addr", srv.Addr(),
+		"routes", "/api /api/timeline /api/fleet /metrics /status /events",
+		slog.Float64("lease_s", *lease))
 
 	sigc := make(chan os.Signal, 2)
 	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
 	<-sigc
-	logger.Printf("griddispatch: shutting down (journal keeps completed shards)")
+	logger.Info("shutting down (journal keeps completed shards)")
 	srv.Close()
 }

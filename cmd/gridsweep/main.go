@@ -36,6 +36,7 @@ import (
 	"chicsim/internal/obs/registry"
 	"chicsim/internal/obs/watchdog"
 	"chicsim/internal/report"
+	"chicsim/internal/trace"
 )
 
 func main() {
@@ -54,6 +55,7 @@ func main() {
 	jsonlPath := flag.String("jsonl", "", "stream each completed cell's result to this JSONL file as the campaign runs")
 	fromJSONL := flag.String("from-jsonl", "", "skip the campaign and regenerate reports from a previously streamed -jsonl file")
 	dispatch := flag.String("dispatch", "", "submit the campaign to a fabric dispatcher (griddispatch URL) and wait for the merged result instead of simulating locally")
+	fleetTrace := flag.String("fleet-trace", "", "with -dispatch: write the campaign timeline as a Chrome/Perfetto trace to this file after the merge (.gz gzips)")
 	obsFlags := obs.BindFlags(flag.CommandLine)
 	flag.Parse()
 
@@ -154,8 +156,11 @@ func main() {
 	}
 
 	if *dispatch != "" {
-		runDispatched(*dispatch, base, cells, seedList, obsFlags, *jsonlPath, *fig, *csv, *md, mtbfs)
+		runDispatched(*dispatch, base, cells, seedList, obsFlags, *jsonlPath, *fleetTrace, *fig, *csv, *md, mtbfs)
 		return
+	}
+	if *fleetTrace != "" {
+		fmt.Fprintln(os.Stderr, "gridsweep: -fleet-trace only applies with -dispatch; ignoring")
 	}
 
 	totalSims := len(cells) * len(seedList)
@@ -365,7 +370,7 @@ func main() {
 // campaign order, the stream — and every report rendered from it — is
 // byte-identical to a single-process run.
 func runDispatched(addr string, base core.Config, cells []experiments.Cell, seeds []uint64,
-	obsFlags *obs.Flags, jsonlPath, fig string, csv, md bool, mtbfs []float64) {
+	obsFlags *obs.Flags, jsonlPath, fleetTrace, fig string, csv, md bool, mtbfs []float64) {
 	if obsFlags.ListenAddr != "" || obsFlags.MetricsPath != "" || obsFlags.WatchdogMode != "off" {
 		fmt.Fprintln(os.Stderr, "gridsweep: -listen/-metrics-out/-watchdog run on the dispatcher and workers; ignoring in -dispatch mode")
 	}
@@ -401,9 +406,7 @@ func runDispatched(addr string, base core.Config, cells []experiments.Cell, seed
 	defer stop()
 	lastLine := ""
 	merged, err := client.WaitMerged(ctx, sub.CampaignID, time.Second, func(doc fabric.StateDoc) {
-		done := doc.Counts["completed"] + doc.Counts["failed"]
-		line := fmt.Sprintf("gridsweep: fabric: %d/%d shards done, %d executing, %d workers",
-			done, len(doc.Shards), doc.Counts["executing"], len(doc.Workers))
+		line := progressLine(client, doc)
 		if line != lastLine {
 			fmt.Fprintln(os.Stderr, line)
 			lastLine = line
@@ -424,6 +427,13 @@ func runDispatched(addr string, base core.Config, cells []experiments.Cell, seed
 		}
 		fmt.Fprintf(os.Stderr, "gridsweep: wrote merged stream (%d cells) to %s\n", len(cells), jsonlPath)
 	}
+	if fleetTrace != "" {
+		if err := writeFleetTrace(client, fleetTrace); err != nil {
+			fmt.Fprintln(os.Stderr, "gridsweep:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "gridsweep: wrote fleet trace to %s (open in Perfetto or chrome://tracing)\n", fleetTrace)
+	}
 	results, err := experiments.ReadStream(bytes.NewReader(merged))
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "gridsweep:", err)
@@ -442,6 +452,52 @@ func runDispatched(addr string, base core.Config, cells []experiments.Cell, seed
 		}
 	}
 	render(results, fig, csv, md, mtbfs)
+}
+
+// progressLine renders one -dispatch progress line. The fleet endpoint
+// enriches it with liveness, requeues, and an ETA; an older dispatcher
+// without /api/fleet degrades to the bare shard counts.
+func progressLine(client *fabric.Client, doc fabric.StateDoc) string {
+	done := doc.Counts["completed"] + doc.Counts["failed"]
+	line := fmt.Sprintf("gridsweep: fabric: %d/%d shards done, %d executing",
+		done, len(doc.Shards), doc.Counts["executing"])
+	fleet, err := client.Fleet()
+	if err != nil {
+		return line + fmt.Sprintf(", %d workers", len(doc.Workers))
+	}
+	live := 0
+	for _, w := range fleet.Workers {
+		if w.Live {
+			live++
+		}
+	}
+	line += fmt.Sprintf(", %d/%d workers live", live, len(fleet.Workers))
+	if fleet.Requeues > 0 {
+		line += fmt.Sprintf(", %d requeues", fleet.Requeues)
+	}
+	if fleet.ETASeconds > 0 {
+		line += fmt.Sprintf(", ETA %s", (time.Duration(fleet.ETASeconds * float64(time.Second))).Round(time.Second))
+	}
+	return line
+}
+
+// writeFleetTrace fetches the campaign timeline and writes it as a
+// Chrome trace-event file (gzipped when the path ends in .gz).
+func writeFleetTrace(client *fabric.Client, path string) error {
+	doc, err := client.Timeline()
+	if err != nil {
+		return err
+	}
+	spans, markers := fabric.FleetTraceData(doc)
+	w, err := trace.CreateWriter(path)
+	if err != nil {
+		return err
+	}
+	if err := trace.WriteFleetChrome(w, spans, markers); err != nil {
+		w.Close()
+		return err
+	}
+	return w.Close()
 }
 
 // render writes the requested report for results, whether they came from a

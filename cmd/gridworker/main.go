@@ -5,18 +5,20 @@
 //
 // Usage:
 //
-//	gridworker -dispatcher http://host:7171 -capacity 4
+//	gridworker -dispatcher http://host:7171 -capacity 4 -listen :7172
 //
 // By default the daemon exits once the current campaign merges; -stay
 // keeps it polling for future campaigns. -manifest writes a worker-side
-// run manifest recording which shards this worker produced.
+// run manifest recording which shards this worker produced. -listen
+// serves the worker's own monitor surface: /metrics (busy slots, upload
+// outcomes/latency, heartbeats) and /status (what it is executing).
+// Logs are structured (-log-level, -log-format).
 package main
 
 import (
 	"context"
 	"flag"
 	"fmt"
-	"log"
 	"os"
 	"os/signal"
 	"runtime"
@@ -26,6 +28,8 @@ import (
 	"chicsim/internal/experiments"
 	"chicsim/internal/fabric"
 	"chicsim/internal/obs"
+	"chicsim/internal/obs/logging"
+	"chicsim/internal/obs/monitor"
 )
 
 func main() {
@@ -33,19 +37,25 @@ func main() {
 	name := flag.String("name", "", "worker name for logs and provenance (default host:pid)")
 	capacity := flag.Int("capacity", runtime.GOMAXPROCS(0), "shards executed concurrently")
 	stay := flag.Bool("stay", false, "keep polling for new campaigns after the current one merges")
+	listen := flag.String("listen", "", "serve the worker's /metrics and /status on this address")
 	manifestOut := flag.String("manifest", "", "write a worker run manifest (shards produced) to this file")
-	quiet := flag.Bool("quiet", false, "suppress per-shard log lines")
+	quiet := flag.Bool("quiet", false, "suppress per-shard log lines (same as -log-level error)")
+	logFlags := logging.BindFlags(flag.CommandLine)
 	flag.Parse()
 
-	logger := log.New(os.Stderr, "", log.LstdFlags)
-	logf := logger.Printf
 	if *quiet {
-		logf = func(string, ...any) {}
+		logFlags.Level = "error"
+	}
+	logger, err := logFlags.Logger("gridworker")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "gridworker:", err)
+		os.Exit(1)
 	}
 	if *name == "" {
 		host, _ := os.Hostname()
 		*name = fmt.Sprintf("%s:%d", host, os.Getpid())
 	}
+	logger = logger.With("worker_name", *name)
 
 	var mu sync.Mutex
 	var produced []obs.ShardProvenance
@@ -54,7 +64,7 @@ func main() {
 		Name:       *name,
 		Capacity:   *capacity,
 		KeepAlive:  *stay,
-		Logf:       logf,
+		Logger:     logger,
 		OnShardDone: func(shard fabric.Shard, _ experiments.CellRecord) {
 			mu.Lock()
 			produced = append(produced, obs.ShardProvenance{
@@ -64,12 +74,22 @@ func main() {
 		},
 	}
 
+	if *listen != "" {
+		srv, err := monitor.Start(*listen, w.Metrics(), func() any { return w.Status() })
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "gridworker:", err)
+			os.Exit(1)
+		}
+		defer srv.Close()
+		logger.Info("monitor listening", "addr", srv.Addr(), "routes", "/metrics /status /events")
+	}
+
 	ctx, cancel := context.WithCancel(context.Background())
 	sigc := make(chan os.Signal, 2)
 	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
 	go func() {
 		<-sigc
-		logger.Printf("gridworker: interrupted; abandoning leases")
+		logger.Warn("interrupted; abandoning leases")
 		cancel()
 	}()
 
@@ -87,7 +107,7 @@ func main() {
 		manifest.SetExtra("capacity", *capacity)
 	}
 
-	err := w.Run(ctx)
+	err = w.Run(ctx)
 	if manifest != nil {
 		mu.Lock()
 		manifest.SetShards(produced)

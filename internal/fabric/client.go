@@ -127,6 +127,20 @@ func (c *Client) State() (StateDoc, error) {
 	return doc, err
 }
 
+// Timeline fetches the campaign's per-shard event history.
+func (c *Client) Timeline() (TimelineDoc, error) {
+	var doc TimelineDoc
+	err := c.call(http.MethodGet, "/api/timeline", nil, &doc)
+	return doc, err
+}
+
+// Fleet fetches live fleet status.
+func (c *Client) Fleet() (FleetDoc, error) {
+	var doc FleetDoc
+	err := c.call(http.MethodGet, "/api/fleet", nil, &doc)
+	return doc, err
+}
+
 // Merged downloads the canonical merged JSONL stream.
 func (c *Client) Merged() ([]byte, error) {
 	req, err := http.NewRequest(http.MethodGet, c.url("/api/merged"), nil)
@@ -148,10 +162,20 @@ func (c *Client) Merged() ([]byte, error) {
 	return payload, nil
 }
 
+// ErrCampaignUnknown is returned (wrapped) by WaitMerged when the
+// dispatcher answers but has no record of the awaited campaign — the
+// signature of a dispatcher restarted without its queue journal. The
+// campaign will never merge on its own; resubmit it (or restart the
+// dispatcher with -journal pointing at the original file).
+var ErrCampaignUnknown = fmt.Errorf("fabric: dispatcher has no record of the campaign (restarted without its journal?)")
+
 // WaitMerged polls the dispatcher until campaignID merges, then returns
 // the merged stream. onState, when non-nil, observes every poll (for
-// progress display). Poll errors are tolerated (the dispatcher may be
-// momentarily restarting); ctx bounds the total wait.
+// progress display). Transport-level poll errors are tolerated (the
+// dispatcher may be momentarily restarting), but a dispatcher that
+// answers with no campaign at all fails fast with ErrCampaignUnknown —
+// it lost its journal, so the wait would otherwise spin forever; ctx
+// bounds the total wait.
 func (c *Client) WaitMerged(ctx context.Context, campaignID string, poll time.Duration, onState func(StateDoc)) ([]byte, error) {
 	if poll <= 0 {
 		poll = time.Second
@@ -162,7 +186,10 @@ func (c *Client) WaitMerged(ctx context.Context, campaignID string, poll time.Du
 			if onState != nil {
 				onState(doc)
 			}
-			if doc.CampaignID != campaignID && doc.CampaignID != "" {
+			if doc.CampaignID == "" {
+				return nil, fmt.Errorf("%w (waiting for %s)", ErrCampaignUnknown, campaignID)
+			}
+			if doc.CampaignID != campaignID {
 				return nil, fmt.Errorf("fabric: dispatcher switched to campaign %s while waiting for %s", doc.CampaignID, campaignID)
 			}
 			if doc.Phase == "merged" {

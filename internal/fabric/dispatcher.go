@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"encoding/json"
 	"fmt"
+	"log/slog"
 	"os"
 	"sort"
 	"sync"
@@ -11,6 +12,7 @@ import (
 
 	"chicsim/internal/experiments"
 	"chicsim/internal/obs"
+	"chicsim/internal/obs/logging"
 	"chicsim/internal/obs/registry"
 )
 
@@ -26,9 +28,10 @@ type Options struct {
 	// error record, so the campaign still completes). Default 5.
 	MaxAttempts int
 
-	// JournalPath, when non-empty, persists the campaign spec and every
-	// terminal shard record to an append-only JSONL file; NewDispatcher
-	// resumes from it if it already holds a campaign.
+	// JournalPath, when non-empty, persists the campaign spec, every
+	// terminal shard record, and the shard event timeline to an
+	// append-only JSONL file; NewDispatcher resumes from it if it
+	// already holds a campaign.
 	JournalPath string
 
 	// MergedPath, when non-empty, receives the merged canonical JSONL
@@ -39,7 +42,12 @@ type Options struct {
 	// merged, with per-shard worker provenance.
 	ManifestPath string
 
-	// Logf, when non-nil, receives operational log lines.
+	// Logger, when non-nil, receives structured operational log lines
+	// with campaign/shard/worker attributes.
+	Logger *slog.Logger
+
+	// Logf, when non-nil and Logger is nil, receives the same lines
+	// through a printf-style adapter (tests pass t.Logf here).
 	Logf func(format string, args ...any)
 
 	// Now is the clock (tests inject a fake one). Default time.Now.
@@ -55,15 +63,17 @@ type shardInfo struct {
 	Attempts    int
 	LeaseExpiry time.Time
 	Record      *experiments.CellRecord
+	Events      []ShardEvent
 }
 
 type workerInfo struct {
-	ID         string
-	Name       string
-	Host       string
-	Capacity   int
-	LastSeen   time.Time
-	ShardsDone int
+	ID          string
+	Name        string
+	Host        string
+	Capacity    int
+	LastSeen    time.Time
+	FirstBooked time.Time
+	ShardsDone  int
 }
 
 // Dispatcher owns the shard queue for one campaign at a time. All methods
@@ -72,11 +82,17 @@ type workerInfo struct {
 // polling for work (or any client polling state) drives requeues.
 type Dispatcher struct {
 	opts Options
+	log  *slog.Logger
 	reg  *registry.Registry
 
 	booked, requeued, dupes, stale registry.Counter
 	completedC, failedC, regC      registry.Counter
+	heartbeats, leaseExpiries      registry.Counter
+	poisonedC, journalAppends      registry.Counter
 	remainingG                     registry.Gauge
+	stateG                         [5]registry.Gauge // indexed by ShardState
+	liveG, deadG                   registry.Gauge
+	fsyncH                         registry.Histogram
 
 	mu         sync.Mutex
 	campaignID string
@@ -95,7 +111,8 @@ type Dispatcher struct {
 
 // NewDispatcher creates a dispatcher and, when opts.JournalPath names an
 // existing journal with a campaign in it, resumes that campaign:
-// completed shards keep their records, everything else requeues.
+// completed shards keep their records and event histories, everything
+// else requeues (with a requeued timeline event marking the takeover).
 func NewDispatcher(opts Options) (*Dispatcher, error) {
 	if opts.LeaseSeconds <= 0 {
 		opts.LeaseSeconds = 60
@@ -106,8 +123,12 @@ func NewDispatcher(opts Options) (*Dispatcher, error) {
 	if opts.Now == nil {
 		opts.Now = time.Now
 	}
+	if opts.Logger == nil {
+		opts.Logger = logging.Logf(opts.Logf)
+	}
 	d := &Dispatcher{
 		opts:    opts,
+		log:     opts.Logger,
 		reg:     registry.New(),
 		workers: make(map[string]*workerInfo),
 	}
@@ -117,7 +138,19 @@ func NewDispatcher(opts Options) (*Dispatcher, error) {
 	d.completedC, d.failedC = rt.With("ok"), rt.With("failed")
 	d.dupes, d.stale = rt.With("duplicate"), rt.With("stale")
 	d.regC = d.reg.Counter("fabric_workers_registered_total", "Worker registrations accepted.").With()
+	d.heartbeats = d.reg.Counter("fabric_heartbeats_total", "Worker heartbeats received.").With()
+	d.leaseExpiries = d.reg.Counter("fabric_lease_expiries_total", "Shard leases that lapsed without a heartbeat.").With()
+	d.poisonedC = d.reg.Counter("fabric_shards_poisoned_total", "Shards abandoned after exhausting MaxAttempts bookings.").With()
+	d.journalAppends = d.reg.Counter("fabric_journal_appends_total", "Entries fsynced to the queue journal.").With()
 	d.remainingG = d.reg.Gauge("fabric_shards_remaining", "Shards not yet in a terminal state.").With()
+	sg := d.reg.Gauge("fabric_shards", "Shards by lifecycle state.", "state")
+	for st := Queued; st <= Failed; st++ {
+		d.stateG[st] = sg.With(st.String())
+	}
+	wg := d.reg.Gauge("fabric_workers", "Registered workers by liveness (live = heartbeat within one lease).", "liveness")
+	d.liveG, d.deadG = wg.With("live"), wg.With("dead")
+	d.fsyncH = d.reg.Histogram("fabric_journal_fsync_seconds", "Latency of one journal append incl. fsync.",
+		[]float64{0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 1}).With()
 
 	if opts.JournalPath != "" {
 		if err := d.loadJournal(opts.JournalPath); err != nil {
@@ -125,12 +158,6 @@ func NewDispatcher(opts Options) (*Dispatcher, error) {
 		}
 	}
 	return d, nil
-}
-
-func (d *Dispatcher) logf(format string, args ...any) {
-	if d.opts.Logf != nil {
-		d.opts.Logf(format, args...)
-	}
 }
 
 // Registry exposes the dispatcher's metrics for /metrics.
@@ -149,6 +176,37 @@ func (d *Dispatcher) emit(event string, data any) {
 	}
 }
 
+// eventLocked appends one timeline event to a shard's history and
+// returns the journal entry that persists it.
+func (d *Dispatcher) eventLocked(si *shardInfo, kind, worker string) journalEntry {
+	ev := ShardEvent{T: d.opts.Now(), Kind: kind, Worker: worker, Attempt: si.Attempts}
+	si.Events = append(si.Events, ev)
+	return journalEntry{T: "event", Shard: si.Index, Event: &ev}
+}
+
+// journalAppend fsyncs entries to the queue journal (when configured),
+// tracking append counts and fsync latency.
+func (d *Dispatcher) journalAppend(entries ...journalEntry) {
+	if d.opts.JournalPath == "" || len(entries) == 0 {
+		return
+	}
+	j, err := openJournal(d.opts.JournalPath)
+	if err != nil {
+		d.log.Error("journal open failed", "campaign", d.campaignID, "err", err)
+		return
+	}
+	defer j.Close()
+	for _, e := range entries {
+		t0 := time.Now()
+		if err := j.append(e); err != nil {
+			d.log.Error("journal append failed", "campaign", d.campaignID, "err", err)
+			return
+		}
+		d.journalAppends.Inc()
+		d.fsyncH.Observe(time.Since(t0).Seconds())
+	}
+}
+
 // loadJournal replays a journal into dispatcher state (called before the
 // dispatcher serves, so no locking needed).
 func (d *Dispatcher) loadJournal(path string) error {
@@ -157,7 +215,7 @@ func (d *Dispatcher) loadJournal(path string) error {
 		return err
 	}
 	if truncated {
-		d.logf("fabric: journal %s has a truncated tail; dropping it", path)
+		d.log.Warn("journal has a truncated tail; dropping it", "path", path)
 	}
 	for _, e := range entries {
 		switch e.T {
@@ -183,14 +241,39 @@ func (d *Dispatcher) loadJournal(path string) error {
 			}
 			d.remaining--
 			d.dequeue(e.Shard)
+		case "event":
+			if d.spec == nil || e.Shard < 0 || e.Shard >= len(d.shards) || e.Event == nil {
+				continue // tolerate stray events; the timeline is advisory
+			}
+			si := d.shards[e.Shard]
+			si.Events = append(si.Events, *e.Event)
+			// Booked events restore attempt/owner provenance for shards
+			// that were in flight at the crash.
+			if e.Event.Kind == EventBooked && si.State == Queued {
+				si.Attempts = e.Event.Attempt
+				si.Worker = e.Event.Worker
+			}
 		case "merged":
 			// Informational; the merge re-derives from the shard records.
 		}
 	}
 	if d.spec != nil {
-		d.remainingG.Set(float64(d.remaining))
-		d.logf("fabric: resumed campaign %s from %s: %d/%d shards already done",
-			d.campaignID, path, len(d.shards)-d.remaining, len(d.shards))
+		// Shards that were mid-flight when the dispatcher died requeue;
+		// stamp the takeover so the timeline records the lost attempt.
+		var requeues []journalEntry
+		for _, si := range d.shards {
+			if si.State != Queued || len(si.Events) == 0 {
+				continue
+			}
+			if last := si.Events[len(si.Events)-1].Kind; last == EventBooked || last == EventExecuting {
+				requeues = append(requeues, d.eventLocked(si, EventRequeued, si.Worker))
+			}
+		}
+		d.journalAppend(requeues...)
+		d.syncGaugesLocked()
+		d.log.Info("resumed campaign from journal",
+			"campaign", d.campaignID, "path", path,
+			"done", len(d.shards)-d.remaining, "shards", len(d.shards))
 		if d.remaining == 0 {
 			d.mergeLocked()
 		}
@@ -215,17 +298,41 @@ func (d *Dispatcher) installCampaign(spec *CampaignSpec, id string) {
 	d.remaining = len(d.shards)
 	d.merged = nil
 	d.nRequeues, d.nDupes = 0, 0
-	d.remainingG.Set(float64(d.remaining))
+	d.syncGaugesLocked()
 	if d.opts.ManifestPath != "" {
 		m, err := obs.NewManifest("griddispatch", spec.Base, spec.Seeds)
 		if err != nil {
-			d.logf("fabric: manifest: %v", err)
+			d.log.Error("manifest failed", "campaign", id, "err", err)
 		} else {
 			m.SetExtra("campaign_id", id)
 			m.SetExtra("cells", len(spec.Cells))
 			d.manifest = m
 		}
 	}
+}
+
+// syncGaugesLocked refreshes the shard-state and worker-liveness gauges
+// from current state. Cheap enough to run on every API entry.
+func (d *Dispatcher) syncGaugesLocked() {
+	var counts [5]int
+	for _, si := range d.shards {
+		counts[si.State]++
+	}
+	for st := Queued; st <= Failed; st++ {
+		d.stateG[st].Set(float64(counts[st]))
+	}
+	now := d.opts.Now()
+	live, dead := 0, 0
+	for _, w := range d.workers {
+		if d.liveLocked(w, now) {
+			live++
+		} else {
+			dead++
+		}
+	}
+	d.liveG.Set(float64(live))
+	d.deadG.Set(float64(dead))
+	d.remainingG.Set(float64(d.remaining))
 }
 
 // dequeue removes one index from the queue if present.
@@ -273,8 +380,14 @@ func (d *Dispatcher) Submit(spec CampaignSpec) (SubmitResponse, error) {
 		j.Close()
 	}
 	d.installCampaign(&spec, id)
-	d.logf("fabric: campaign %s submitted: %d cells x %d seeds", id, len(spec.Cells), len(spec.Seeds))
+	entries := make([]journalEntry, 0, len(d.shards))
+	for _, si := range d.shards {
+		entries = append(entries, d.eventLocked(si, EventQueued, ""))
+	}
+	d.journalAppend(entries...)
+	d.log.Info("campaign submitted", "campaign", id, "cells", len(spec.Cells), "seeds", len(spec.Seeds))
 	d.emit("campaign_submitted", map[string]any{"campaign_id": id, "cells": len(spec.Cells)})
+	d.emit("fleet", d.fleetLocked())
 	return SubmitResponse{CampaignID: id}, nil
 }
 
@@ -300,8 +413,10 @@ func (d *Dispatcher) Register(req RegisterRequest) RegisterResponse {
 	}
 	d.workers[id] = &workerInfo{ID: id, Name: req.Name, Host: req.Host, Capacity: cap, LastSeen: d.opts.Now()}
 	d.regC.Inc()
-	d.logf("fabric: worker %s registered (host=%s capacity=%d)", id, req.Host, cap)
+	d.syncGaugesLocked()
+	d.log.Info("worker registered", "campaign", d.campaignID, "worker", id, "host", req.Host, "capacity", cap)
 	d.emit("worker_registered", map[string]any{"worker": id, "host": req.Host, "capacity": cap})
+	d.emit("fleet", d.fleetLocked())
 	return RegisterResponse{WorkerID: id, LeaseSeconds: d.opts.LeaseSeconds}
 }
 
@@ -317,6 +432,7 @@ func (d *Dispatcher) Book(req BookRequest) (BookResponse, error) {
 	w.LastSeen = d.opts.Now()
 	resp := BookResponse{BackoffSeconds: 1}
 	if d.spec == nil {
+		d.syncGaugesLocked()
 		return resp, nil
 	}
 	resp.CampaignID = d.campaignID
@@ -326,6 +442,7 @@ func (d *Dispatcher) Book(req BookRequest) (BookResponse, error) {
 		n = 1
 	}
 	expiry := d.opts.Now().Add(time.Duration(d.opts.LeaseSeconds * float64(time.Second)))
+	var entries []journalEntry
 	for len(resp.Shards) < n && len(d.queue) > 0 {
 		idx := d.queue[0]
 		d.queue = d.queue[1:]
@@ -335,17 +452,24 @@ func (d *Dispatcher) Book(req BookRequest) (BookResponse, error) {
 		si.Attempts++
 		si.LeaseExpiry = expiry
 		resp.Shards = append(resp.Shards, si.Shard)
+		entries = append(entries, d.eventLocked(si, EventBooked, w.ID))
 		d.booked.Inc()
 	}
 	if len(resp.Shards) > 0 {
+		if w.FirstBooked.IsZero() {
+			w.FirstBooked = d.opts.Now()
+		}
 		resp.LeaseSeconds = d.opts.LeaseSeconds
 		resp.BackoffSeconds = 0
+		d.journalAppend(entries...)
 		d.emit("shards_booked", map[string]any{"worker": w.ID, "count": len(resp.Shards)})
 	}
+	d.syncGaugesLocked()
 	return resp, nil
 }
 
-// Heartbeat extends leases on the listed shards and flags lost ones.
+// Heartbeat extends leases on the listed shards and flags lost ones. A
+// shard's first heartbeat moves it booked → executing on the timeline.
 func (d *Dispatcher) Heartbeat(req HeartbeatRequest) (HeartbeatResponse, error) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
@@ -356,20 +480,27 @@ func (d *Dispatcher) Heartbeat(req HeartbeatRequest) (HeartbeatResponse, error) 
 	}
 	now := d.opts.Now()
 	w.LastSeen = now
+	d.heartbeats.Inc()
 	expiry := now.Add(time.Duration(d.opts.LeaseSeconds * float64(time.Second)))
 	var resp HeartbeatResponse
+	var entries []journalEntry
 	for _, idx := range req.Executing {
 		if idx < 0 || idx >= len(d.shards) {
 			continue
 		}
 		si := d.shards[idx]
 		if si.Worker == w.ID && (si.State == Booked || si.State == Executing) {
+			if si.State == Booked {
+				entries = append(entries, d.eventLocked(si, EventExecuting, w.ID))
+			}
 			si.State = Executing
 			si.LeaseExpiry = expiry
 		} else {
 			resp.Lost = append(resp.Lost, idx)
 		}
 	}
+	d.journalAppend(entries...)
+	d.syncGaugesLocked()
 	return resp, nil
 }
 
@@ -407,13 +538,15 @@ func (d *Dispatcher) Result(req ResultRequest) (ResultResponse, error) {
 		si.WorkerName, si.Host = w.Name, w.Host
 		w.ShardsDone++
 	}
-	d.finishLocked(si, &rec)
+	d.finishLocked(si, &rec, EventUploaded, req.WorkerID)
+	d.syncGaugesLocked()
 	return ResultResponse{}, nil
 }
 
 // finishLocked moves a shard to its terminal state with rec as its
-// merged record, journals it, and merges the campaign when it was last.
-func (d *Dispatcher) finishLocked(si *shardInfo, rec *experiments.CellRecord) {
+// merged record, journals the record plus the closing timeline event,
+// and merges the campaign when it was last.
+func (d *Dispatcher) finishLocked(si *shardInfo, rec *experiments.CellRecord, evKind, worker string) {
 	si.Record = rec
 	if rec.Err != "" {
 		si.State = Failed
@@ -424,25 +557,20 @@ func (d *Dispatcher) finishLocked(si *shardInfo, rec *experiments.CellRecord) {
 	}
 	d.dequeue(si.Index)
 	d.remaining--
-	d.remainingG.Set(float64(d.remaining))
-	if d.opts.JournalPath != "" {
-		j, err := openJournal(d.opts.JournalPath)
-		if err == nil {
-			err = j.append(journalEntry{
-				T: "done", Shard: si.Index, Worker: si.WorkerName,
-				Host: si.Host, Attempts: si.Attempts, Record: rec,
-			})
-			j.Close()
-		}
-		if err != nil {
-			d.logf("fabric: %v", err)
-		}
-	}
-	d.logf("fabric: shard %d (%v) %s by %s (%d/%d done)",
-		si.Index, si.Cell, si.State, si.Worker, len(d.shards)-d.remaining, len(d.shards))
+	d.journalAppend(
+		d.eventLocked(si, evKind, worker),
+		journalEntry{
+			T: "done", Shard: si.Index, Worker: si.WorkerName,
+			Host: si.Host, Attempts: si.Attempts, Record: rec,
+		})
+	d.log.Info("shard terminal",
+		"campaign", d.campaignID, "shard", si.Index, "cell", si.Cell.String(),
+		"state", si.State.String(), "worker", si.Worker,
+		"done", len(d.shards)-d.remaining, "shards", len(d.shards))
 	d.emit("shard_done", map[string]any{
 		"shard": si.Index, "cell": si.Cell.String(), "state": si.State.String(), "worker": si.Worker,
 	})
+	d.emit("fleet", d.fleetLocked())
 	if d.remaining == 0 {
 		d.mergeLocked()
 	}
@@ -462,24 +590,33 @@ func (d *Dispatcher) expireLeasesLocked() {
 		if (si.State != Booked && si.State != Executing) || now.Before(si.LeaseExpiry) {
 			continue
 		}
+		d.leaseExpiries.Inc()
 		if si.Attempts >= d.opts.MaxAttempts {
-			d.logf("fabric: shard %d (%v) abandoned after %d attempts", si.Index, si.Cell, si.Attempts)
+			d.poisonedC.Inc()
+			d.log.Warn("shard poisoned",
+				"campaign", d.campaignID, "shard", si.Index, "cell", si.Cell.String(),
+				"attempts", si.Attempts, "worker", si.Worker)
 			rec := experiments.CellRecord{
 				Cell: si.Cell,
 				Err:  fmt.Sprintf("fabric: shard abandoned after %d lease expiries (last worker %s)", si.Attempts, si.Worker),
 			}
-			d.finishLocked(si, &rec)
+			d.finishLocked(si, &rec, EventPoisoned, si.Worker)
 			continue
 		}
 		si.State = Queued
+		expired := d.eventLocked(si, EventLeaseExpired, si.Worker)
+		requeuedEv := d.eventLocked(si, EventRequeued, si.Worker)
 		si.LeaseExpiry = time.Time{}
 		d.queue = append(d.queue, si.Index)
 		d.nRequeues++
 		d.requeued.Inc()
 		requeued = true
-		d.logf("fabric: shard %d (%v) lease expired on %s; requeued (attempt %d/%d)",
-			si.Index, si.Cell, si.Worker, si.Attempts, d.opts.MaxAttempts)
+		d.journalAppend(expired, requeuedEv)
+		d.log.Warn("shard lease expired; requeued",
+			"campaign", d.campaignID, "shard", si.Index, "cell", si.Cell.String(),
+			"worker", si.Worker, "attempt", si.Attempts, "max_attempts", d.opts.MaxAttempts)
 		d.emit("shard_requeued", map[string]any{"shard": si.Index, "worker": si.Worker})
+		d.emit("fleet", d.fleetLocked())
 	}
 	if requeued {
 		// Keep the queue in campaign order so work drains canonically.
@@ -495,34 +632,27 @@ func (d *Dispatcher) mergeLocked() {
 	enc := json.NewEncoder(&buf)
 	for _, si := range d.shards {
 		if si.Record == nil {
-			d.logf("fabric: shard %d terminal without a record; merge aborted", si.Index)
+			d.log.Error("shard terminal without a record; merge aborted", "campaign", d.campaignID, "shard", si.Index)
 			return
 		}
 		if err := enc.Encode(*si.Record); err != nil {
-			d.logf("fabric: merge: %v", err)
+			d.log.Error("merge encode failed", "campaign", d.campaignID, "err", err)
 			return
 		}
 	}
 	d.merged = buf.Bytes()
-	d.logf("fabric: campaign %s merged: %d cells, %d bytes", d.campaignID, len(d.shards), len(d.merged))
+	d.log.Info("campaign merged", "campaign", d.campaignID, "cells", len(d.shards), "bytes", len(d.merged))
 	if d.opts.MergedPath != "" {
 		if err := os.WriteFile(d.opts.MergedPath, d.merged, 0o644); err != nil {
-			d.logf("fabric: writing merged stream: %v", err)
+			d.log.Error("writing merged stream failed", "campaign", d.campaignID, "err", err)
 		}
 	}
-	if d.opts.JournalPath != "" {
-		if j, err := openJournal(d.opts.JournalPath); err == nil {
-			if err := j.append(journalEntry{T: "merged", CampaignID: d.campaignID}); err != nil {
-				d.logf("fabric: %v", err)
-			}
-			j.Close()
-		}
-	}
+	d.journalAppend(journalEntry{T: "merged", CampaignID: d.campaignID})
 	if d.manifest != nil {
 		d.manifest.MarkMerged(d.provenanceLocked())
 		d.manifest.Finish()
 		if err := d.manifest.WriteFile(d.opts.ManifestPath); err != nil {
-			d.logf("fabric: %v", err)
+			d.log.Error("writing manifest failed", "campaign", d.campaignID, "err", err)
 		}
 	}
 	d.emit("campaign_merged", map[string]any{"campaign_id": d.campaignID, "cells": len(d.shards)})
@@ -559,6 +689,7 @@ func (d *Dispatcher) State() StateDoc {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	d.expireLeasesLocked()
+	d.syncGaugesLocked()
 	doc := StateDoc{Phase: "idle", Duplicates: d.nDupes, Requeues: d.nRequeues}
 	if d.spec != nil {
 		doc.CampaignID = d.campaignID

@@ -6,6 +6,7 @@ import (
 	"encoding/json"
 	"os"
 	"path/filepath"
+	"strings"
 	"sync"
 	"testing"
 	"time"
@@ -187,6 +188,78 @@ func TestFabricGoldenByteIdentical(t *testing.T) {
 	if !requeuedSeen {
 		t.Fatal("no shard records more than one attempt despite the kill")
 	}
+
+	// The timeline recorded the kill cross-process: some shard carries a
+	// booked attempt by the doomed worker, a lease expiry, a requeue, and
+	// a final upload by the survivor.
+	tl := d.Timeline()
+	if tl.Phase != "merged" || len(tl.Shards) != len(spec.Cells) {
+		t.Fatalf("timeline after merge: phase %s, %d shards", tl.Phase, len(tl.Shards))
+	}
+	killedShard := -1
+	for _, sh := range tl.Shards {
+		var sawDoomed, sawExpiry, sawRequeue bool
+		lastWorker := ""
+		for _, ev := range sh.Events {
+			switch ev.Kind {
+			case EventBooked:
+				if strings.HasSuffix(ev.Worker, "-doomed") {
+					sawDoomed = true
+				}
+			case EventLeaseExpired:
+				sawExpiry = true
+			case EventRequeued:
+				sawRequeue = true
+			case EventUploaded:
+				lastWorker = ev.Worker
+			}
+		}
+		if sawDoomed && sawExpiry && sawRequeue {
+			killedShard = sh.Index
+			if !strings.HasSuffix(lastWorker, "-survivor") {
+				t.Fatalf("killed shard %d finally uploaded by %q, want the survivor", sh.Index, lastWorker)
+			}
+		}
+	}
+	if killedShard < 0 {
+		t.Fatalf("no shard's timeline shows the doomed booking + expiry + requeue arc: %+v", tl.Shards)
+	}
+
+	// The Chrome export puts the killed attempt (aborted) on the doomed
+	// worker's lane, the retry on the survivor's, and a lease-expiry
+	// marker in between.
+	spans, markers := FleetTraceData(tl)
+	var doomedAborted, survivorRun, expiryMarker bool
+	for _, sp := range spans {
+		ab, _ := sp.Args["aborted"].(bool)
+		if strings.HasSuffix(sp.Worker, "-doomed") && ab {
+			doomedAborted = true
+		}
+		if strings.HasSuffix(sp.Worker, "-survivor") {
+			survivorRun = true
+		}
+	}
+	for _, m := range markers {
+		if m.Name == EventLeaseExpired {
+			expiryMarker = true
+		}
+	}
+	if !doomedAborted || !survivorRun || !expiryMarker {
+		t.Fatalf("fleet trace incomplete: doomedAborted=%v survivorRun=%v expiryMarker=%v",
+			doomedAborted, survivorRun, expiryMarker)
+	}
+
+	// The fabric metrics agree with the story the timeline tells.
+	mustMetric := func(name string, min float64, labels ...string) {
+		t.Helper()
+		v, ok := d.Registry().Value(name, labels...)
+		if !ok || v < min {
+			t.Fatalf("%s%v = %v (ok=%v), want >= %v", name, labels, v, ok, min)
+		}
+	}
+	mustMetric("fabric_lease_expiries_total", 1)
+	mustMetric("fabric_shards", float64(len(spec.Cells)), "completed")
+	mustMetric("fabric_journal_appends_total", float64(len(spec.Cells)))
 
 	// The streamed bytes parse back into the reference aggregates.
 	results, err := experiments.ReadStream(bytes.NewReader(merged))

@@ -39,6 +39,8 @@ func (d *Dispatcher) Handlers() map[string]http.Handler {
 		"/api/heartbeat": post(d.handleHeartbeat),
 		"/api/result":    post(d.handleResult),
 		"/api/state":     get(d.handleState),
+		"/api/timeline":  get(d.handleTimeline),
+		"/api/fleet":     get(d.handleFleet),
 		"/api/merged":    get(d.handleMerged),
 	}
 }
@@ -157,6 +159,14 @@ func (d *Dispatcher) handleResult(w http.ResponseWriter, r *http.Request) {
 
 func (d *Dispatcher) handleState(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, d.State())
+}
+
+func (d *Dispatcher) handleTimeline(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, d.Timeline())
+}
+
+func (d *Dispatcher) handleFleet(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, d.Fleet())
 }
 
 func (d *Dispatcher) handleMerged(w http.ResponseWriter, _ *http.Request) {

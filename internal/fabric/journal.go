@@ -11,13 +11,17 @@ import (
 )
 
 // The queue journal is an append-only JSONL file recording what the
-// dispatcher must not lose across a restart: the campaign spec and every
-// terminal shard record. Bookings and leases are deliberately absent —
-// they are soft state that reconstructs itself (an in-flight shard simply
-// requeues when the restarted dispatcher never sees its heartbeat).
+// dispatcher must not lose across a restart: the campaign spec, every
+// terminal shard record, and the shard event timeline. Leases themselves
+// are deliberately absent — they are soft state that reconstructs itself
+// (an in-flight shard simply requeues when the restarted dispatcher
+// never sees its heartbeat); "event" entries only narrate that history
+// for observability, they never drive scheduling. The schema is
+// backward-compatible in both directions: readers skip entry types they
+// do not know, and tolerate journals with no events at all.
 
 type journalEntry struct {
-	T          string                  `json:"t"` // "spec", "done", "merged"
+	T          string                  `json:"t"` // "spec", "done", "merged", "event"
 	CampaignID string                  `json:"campaign_id,omitempty"`
 	Spec       *CampaignSpec           `json:"spec,omitempty"`
 	Shard      int                     `json:"shard,omitempty"`
@@ -25,6 +29,7 @@ type journalEntry struct {
 	Host       string                  `json:"host,omitempty"`
 	Attempts   int                     `json:"attempts,omitempty"`
 	Record     *experiments.CellRecord `json:"record,omitempty"`
+	Event      *ShardEvent             `json:"event,omitempty"`
 }
 
 type journal struct {

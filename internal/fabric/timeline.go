@@ -1,0 +1,270 @@
+package fabric
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"chicsim/internal/trace"
+)
+
+// The campaign timeline is the fabric's answer to "where did the
+// wall-clock go": every shard carries an append-only event history —
+// queued, booked, executing, uploaded, lease_expired, requeued,
+// poisoned — stamped with wall time and the worker involved. Events are
+// persisted through the queue journal (backward-compatibly: old
+// journals simply replay with empty histories, old readers skip the
+// unknown entry type), so the timeline survives dispatcher restarts,
+// and a resumed shard's history spans both incarnations. /api/timeline
+// serves the raw history; FleetTraceData renders it as a
+// Chrome/Perfetto trace with one process per worker.
+
+// Shard event kinds, in lifecycle order.
+const (
+	EventQueued       = "queued"        // entered the dispatcher queue
+	EventBooked       = "booked"        // leased to a worker
+	EventExecuting    = "executing"     // worker's first heartbeat for the attempt
+	EventUploaded     = "uploaded"      // record accepted (completed or failed)
+	EventLeaseExpired = "lease_expired" // worker went silent past its lease
+	EventRequeued     = "requeued"      // back in the queue for another attempt
+	EventPoisoned     = "poisoned"      // abandoned after MaxAttempts bookings
+)
+
+// ShardEvent is one timeline entry: what happened to a shard, when, and
+// which worker was involved (empty for dispatcher-side events like
+// queued).
+type ShardEvent struct {
+	T       time.Time `json:"t"`
+	Kind    string    `json:"kind"`
+	Worker  string    `json:"worker,omitempty"`
+	Attempt int       `json:"attempt,omitempty"`
+}
+
+// ShardTimeline is one shard's row in the timeline document.
+type ShardTimeline struct {
+	Index    int          `json:"index"`
+	Cell     string       `json:"cell"`
+	State    string       `json:"state"`
+	Attempts int          `json:"attempts,omitempty"`
+	Events   []ShardEvent `json:"events,omitempty"`
+}
+
+// TimelineDoc is the GET /api/timeline payload: the whole campaign's
+// cross-process event history.
+type TimelineDoc struct {
+	CampaignID string          `json:"campaign_id,omitempty"`
+	Phase      string          `json:"phase"`
+	Shards     []ShardTimeline `json:"shards,omitempty"`
+}
+
+// Timeline snapshots the campaign's per-shard event history.
+func (d *Dispatcher) Timeline() TimelineDoc {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.expireLeasesLocked()
+	d.syncGaugesLocked()
+	doc := TimelineDoc{Phase: "idle"}
+	if d.spec == nil {
+		return doc
+	}
+	doc.CampaignID = d.campaignID
+	doc.Phase = "running"
+	if d.merged != nil {
+		doc.Phase = "merged"
+	}
+	doc.Shards = make([]ShardTimeline, 0, len(d.shards))
+	for _, si := range d.shards {
+		doc.Shards = append(doc.Shards, ShardTimeline{
+			Index:    si.Index,
+			Cell:     si.Cell.String(),
+			State:    si.State.String(),
+			Attempts: si.Attempts,
+			Events:   append([]ShardEvent(nil), si.Events...),
+		})
+	}
+	return doc
+}
+
+// FleetWorker is one worker's row in the fleet document.
+type FleetWorker struct {
+	ID         string  `json:"id"`
+	Name       string  `json:"name"`
+	Host       string  `json:"host,omitempty"`
+	Live       bool    `json:"live"`
+	Capacity   int     `json:"capacity"`
+	Busy       int     `json:"busy"`
+	ShardsDone int     `json:"shards_done"`
+	AgeSeconds float64 `json:"last_seen_age_s"`
+	// ShardsPerMin is the worker's completed-shard throughput since its
+	// first booking; 0 until it finishes a shard.
+	ShardsPerMin float64 `json:"shards_per_min,omitempty"`
+}
+
+// FleetDoc is the GET /api/fleet payload: worker liveness, per-worker
+// throughput, shard-state counts, and a completion estimate.
+type FleetDoc struct {
+	CampaignID string         `json:"campaign_id,omitempty"`
+	Phase      string         `json:"phase"`
+	Counts     map[string]int `json:"counts,omitempty"`
+	Done       int            `json:"done"`
+	Total      int            `json:"total"`
+	Requeues   int            `json:"requeues,omitempty"`
+	Duplicates int            `json:"duplicate_results,omitempty"`
+	// ETASeconds extrapolates the remaining shards over the live
+	// workers' aggregate throughput; 0 while unknown.
+	ETASeconds float64       `json:"eta_s,omitempty"`
+	Workers    []FleetWorker `json:"workers,omitempty"`
+}
+
+// Fleet snapshots live fleet status.
+func (d *Dispatcher) Fleet() FleetDoc {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.expireLeasesLocked()
+	d.syncGaugesLocked()
+	return d.fleetLocked()
+}
+
+func (d *Dispatcher) fleetLocked() FleetDoc {
+	now := d.opts.Now()
+	doc := FleetDoc{Phase: "idle", Requeues: d.nRequeues, Duplicates: d.nDupes}
+	busy := make(map[string]int)
+	if d.spec != nil {
+		doc.CampaignID = d.campaignID
+		doc.Phase = "running"
+		if d.merged != nil {
+			doc.Phase = "merged"
+		}
+		doc.Total = len(d.shards)
+		doc.Done = len(d.shards) - d.remaining
+		doc.Counts = make(map[string]int)
+		for _, si := range d.shards {
+			doc.Counts[si.State.String()]++
+			if si.State == Booked || si.State == Executing {
+				busy[si.Worker]++
+			}
+		}
+	}
+	ids := make([]string, 0, len(d.workers))
+	for id := range d.workers {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	var rate float64 // live workers' aggregate shards/second
+	for _, id := range ids {
+		w := d.workers[id]
+		fw := FleetWorker{
+			ID: w.ID, Name: w.Name, Host: w.Host, Capacity: w.Capacity,
+			Busy: busy[w.ID], ShardsDone: w.ShardsDone,
+			AgeSeconds: now.Sub(w.LastSeen).Seconds(),
+			Live:       d.liveLocked(w, now),
+		}
+		if !w.FirstBooked.IsZero() && w.ShardsDone > 0 {
+			if elapsed := now.Sub(w.FirstBooked).Seconds(); elapsed > 0 {
+				perSec := float64(w.ShardsDone) / elapsed
+				fw.ShardsPerMin = perSec * 60
+				if fw.Live {
+					rate += perSec
+				}
+			}
+		}
+		doc.Workers = append(doc.Workers, fw)
+	}
+	if rate > 0 && d.remaining > 0 {
+		doc.ETASeconds = float64(d.remaining) / rate
+	}
+	return doc
+}
+
+// liveLocked reports whether a worker has been seen within one lease.
+func (d *Dispatcher) liveLocked(w *workerInfo, now time.Time) bool {
+	return now.Sub(w.LastSeen) <= time.Duration(d.opts.LeaseSeconds*float64(time.Second))
+}
+
+// FleetTraceData renders a timeline as Chrome trace material: per-shard
+// attempt phases become spans on the owning worker's lanes (cat "book"
+// for lease-granted-but-not-yet-executing, cat "exec" while executing),
+// and lease expiries, requeues, and poisonings become instant markers.
+// Timestamps are seconds relative to the earliest event, so the trace
+// starts at t=0 no matter when the campaign ran.
+func FleetTraceData(doc TimelineDoc) (spans []trace.FleetSpan, markers []trace.FleetMarker) {
+	base, last := timelineBounds(doc)
+	if base.IsZero() {
+		return nil, nil
+	}
+	rel := func(t time.Time) float64 { return t.Sub(base).Seconds() }
+	for _, sh := range doc.Shards {
+		var open *trace.FleetSpan
+		closeOpen := func(end time.Time, aborted bool) {
+			if open == nil {
+				return
+			}
+			open.End = rel(end)
+			if aborted {
+				if open.Args == nil {
+					open.Args = map[string]any{}
+				}
+				open.Args["aborted"] = true
+			}
+			spans = append(spans, *open)
+			open = nil
+		}
+		mark := func(ev ShardEvent, cat string) {
+			markers = append(markers, trace.FleetMarker{
+				Worker: ev.Worker, Name: ev.Kind, Cat: cat, T: rel(ev.T),
+				Args: map[string]any{"shard": sh.Index, "cell": sh.Cell, "attempt": ev.Attempt},
+			})
+		}
+		for _, ev := range sh.Events {
+			switch ev.Kind {
+			case EventBooked:
+				closeOpen(ev.T, true) // a re-book while open means the old attempt died
+				open = shardSpan(sh, ev, "book", rel(ev.T))
+			case EventExecuting:
+				closeOpen(ev.T, false)
+				open = shardSpan(sh, ev, "exec", rel(ev.T))
+			case EventUploaded:
+				closeOpen(ev.T, false)
+			case EventLeaseExpired:
+				closeOpen(ev.T, true)
+				mark(ev, "fault")
+			case EventRequeued:
+				closeOpen(ev.T, true)
+				mark(ev, "fault")
+			case EventPoisoned:
+				closeOpen(ev.T, true)
+				mark(ev, "fault")
+			}
+		}
+		// Still open at export time (campaign in flight): close at the
+		// timeline's horizon so the span renders.
+		closeOpen(last, false)
+	}
+	return spans, markers
+}
+
+// shardSpan opens one phase span for a shard attempt.
+func shardSpan(sh ShardTimeline, ev ShardEvent, cat string, start float64) *trace.FleetSpan {
+	return &trace.FleetSpan{
+		Worker: ev.Worker,
+		Name:   fmt.Sprintf("shard %d", sh.Index),
+		Cat:    cat,
+		Start:  start,
+		Args:   map[string]any{"cell": sh.Cell, "attempt": ev.Attempt},
+	}
+}
+
+// timelineBounds returns the earliest and latest event times.
+func timelineBounds(doc TimelineDoc) (first, last time.Time) {
+	for _, sh := range doc.Shards {
+		for _, ev := range sh.Events {
+			if first.IsZero() || ev.T.Before(first) {
+				first = ev.T
+			}
+			if ev.T.After(last) {
+				last = ev.T
+			}
+		}
+	}
+	return first, last
+}

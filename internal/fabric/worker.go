@@ -2,12 +2,15 @@ package fabric
 
 import (
 	"context"
+	"log/slog"
 	"os"
 	"runtime"
 	"sync"
 	"time"
 
 	"chicsim/internal/experiments"
+	"chicsim/internal/obs/logging"
+	"chicsim/internal/obs/registry"
 )
 
 // Worker is a pull-based execution daemon: it registers with a
@@ -37,7 +40,11 @@ type Worker struct {
 	// current one merges; false exits Run once the campaign is done.
 	KeepAlive bool
 
-	// Logf, when non-nil, receives operational log lines.
+	// Logger, when non-nil, receives structured operational log lines.
+	Logger *slog.Logger
+
+	// Logf, when non-nil and Logger is nil, receives the same lines
+	// through a printf-style adapter (tests pass t.Logf here).
 	Logf func(format string, args ...any)
 
 	// RunShard executes one shard (test hook). Default ExecuteShard.
@@ -51,6 +58,77 @@ type Worker struct {
 	// Client overrides the HTTP client (tests). Default: derived from
 	// Dispatcher.
 	Client *Client
+
+	log *slog.Logger
+
+	obsOnce sync.Once
+	reg     *registry.Registry
+	m       workerMetrics
+
+	stMu sync.Mutex
+	st   *workerState
+}
+
+// workerMetrics are the worker-side fabric metrics, served on the
+// daemon's /metrics endpoint when -listen is set.
+type workerMetrics struct {
+	executedOK, executedFailed registry.Counter
+	uploadOK, uploadDup        registry.Counter
+	uploadStale, uploadRetry   registry.Counter
+	heartbeats                 registry.Counter
+	busyG, capG                registry.Gauge
+	uploadH                    registry.Histogram
+}
+
+// Metrics returns the worker's metrics registry, creating it on first
+// use, so a daemon can mount it on /metrics before calling Run.
+func (w *Worker) Metrics() *registry.Registry {
+	w.obsOnce.Do(func() {
+		w.reg = registry.New()
+		ex := w.reg.Counter("worker_shards_executed_total", "Shards this worker finished computing, by record outcome.", "status")
+		w.m.executedOK, w.m.executedFailed = ex.With("ok"), ex.With("failed")
+		up := w.reg.Counter("worker_uploads_total", "Result upload attempts, by outcome (retry = attempt that errored).", "status")
+		w.m.uploadOK, w.m.uploadDup = up.With("ok"), up.With("duplicate")
+		w.m.uploadStale, w.m.uploadRetry = up.With("stale"), up.With("retry")
+		w.m.heartbeats = w.reg.Counter("worker_heartbeats_total", "Heartbeats sent while shards were in flight.").With()
+		w.m.busyG = w.reg.Gauge("worker_busy_slots", "Shards currently executing on this worker.").With()
+		w.m.capG = w.reg.Gauge("worker_capacity", "Concurrent shard capacity.").With()
+		w.m.uploadH = w.reg.Histogram("worker_upload_seconds", "Latency of one result upload attempt.",
+			[]float64{0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5}).With()
+	})
+	return w.reg
+}
+
+// WorkerSnapshot is the worker daemon's /status document.
+type WorkerSnapshot struct {
+	ID         string `json:"id,omitempty"` // dispatcher-assigned, empty before registration
+	Name       string `json:"name"`
+	Host       string `json:"host,omitempty"`
+	Capacity   int    `json:"capacity"`
+	Busy       int    `json:"busy"`
+	Executing  []int  `json:"executing,omitempty"`
+	ShardsDone int    `json:"shards_done"`
+}
+
+// Status snapshots the worker for /status; safe to call at any time,
+// including before Run.
+func (w *Worker) Status() WorkerSnapshot {
+	snap := WorkerSnapshot{Name: w.Name, Host: w.Host, Capacity: w.Capacity}
+	w.stMu.Lock()
+	st := w.st
+	w.stMu.Unlock()
+	if st == nil {
+		return snap
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	snap.ID = st.id
+	snap.Busy = len(st.executing)
+	for idx := range st.executing {
+		snap.Executing = append(snap.Executing, idx)
+	}
+	snap.ShardsDone = st.done
+	return snap
 }
 
 // ExecuteShard runs one shard exactly as a single-process campaign would
@@ -67,12 +145,6 @@ func ExecuteShard(spec CampaignSpec, shard Shard) experiments.CellRecord {
 	}
 	results := experiments.Run(camp)
 	return experiments.RecordOf(&results[0])
-}
-
-func (w *Worker) logf(format string, args ...any) {
-	if w.Logf != nil {
-		w.Logf(format, args...)
-	}
 }
 
 // Run drives the worker until ctx is canceled or — when KeepAlive is
@@ -95,6 +167,13 @@ func (w *Worker) Run(ctx context.Context) error {
 	if w.RunShard == nil {
 		w.RunShard = ExecuteShard
 	}
+	if w.Logger != nil {
+		w.log = w.Logger
+	} else {
+		w.log = logging.Logf(w.Logf)
+	}
+	w.Metrics()
+	w.m.capG.Set(float64(w.Capacity))
 	c := w.Client
 	if c == nil {
 		c = &Client{BaseURL: w.Dispatcher}
@@ -107,6 +186,9 @@ func (w *Worker) Run(ctx context.Context) error {
 		specs:     make(map[string]*CampaignSpec),
 		wake:      make(chan struct{}, 1),
 	}
+	w.stMu.Lock()
+	w.st = st
+	w.stMu.Unlock()
 	lease, err := st.register(ctx)
 	if err != nil {
 		return err
@@ -148,6 +230,7 @@ type workerState struct {
 	id        string
 	executing map[int]Shard
 	specs     map[string]*CampaignSpec
+	done      int
 	wake      chan struct{}
 }
 
@@ -162,10 +245,10 @@ func (st *workerState) register(ctx context.Context) (lease float64, err error) 
 			st.mu.Lock()
 			st.id = resp.WorkerID
 			st.mu.Unlock()
-			w.logf("gridworker: registered as %s (lease %gs)", resp.WorkerID, resp.LeaseSeconds)
+			w.log.Info("registered", "worker", resp.WorkerID, "lease_s", resp.LeaseSeconds)
 			return resp.LeaseSeconds, nil
 		}
-		w.logf("gridworker: register: %v (retrying)", rerr)
+		w.log.Warn("register failed; retrying", "err", rerr)
 		select {
 		case <-ctx.Done():
 			return 0, ctx.Err()
@@ -195,16 +278,18 @@ func (st *workerState) heartbeat() {
 	if len(idxs) == 0 {
 		return
 	}
+	w := st.worker
 	resp, err := st.client.Heartbeat(HeartbeatRequest{WorkerID: st.workerID(), Executing: idxs})
 	if err != nil {
-		st.worker.logf("gridworker: heartbeat: %v", err)
+		w.log.Warn("heartbeat failed", "err", err)
 		return
 	}
+	w.m.heartbeats.Inc()
 	for _, lost := range resp.Lost {
 		// The lease expired (e.g. a long GC pause or dispatcher restart);
 		// the shard is someone else's now. Keep computing — the upload
 		// will be deduped or stale-acked — but say so.
-		st.worker.logf("gridworker: lost lease on shard %d", lost)
+		w.log.Warn("lost lease on shard", "shard", lost)
 	}
 }
 
@@ -224,7 +309,7 @@ func (st *workerState) tryBook(ctx context.Context) (exit bool) {
 	if err != nil {
 		// Dispatcher restarted and forgot us: re-register and retry on
 		// the next tick.
-		w.logf("gridworker: book: %v", err)
+		w.log.Warn("book failed; re-registering", "err", err)
 		if _, rerr := st.register(ctx); rerr != nil {
 			return false
 		}
@@ -240,6 +325,7 @@ func (st *workerState) tryBook(ctx context.Context) (exit bool) {
 	for _, shard := range resp.Shards {
 		st.mu.Lock()
 		st.executing[shard.Index] = shard
+		w.m.busyG.Set(float64(len(st.executing)))
 		st.mu.Unlock()
 		go st.execute(ctx, resp.CampaignID, *spec, shard)
 	}
@@ -257,7 +343,7 @@ func (st *workerState) specFor(id string) *CampaignSpec {
 	}
 	doc, err := st.client.Campaign()
 	if err != nil || doc.CampaignID != id {
-		st.worker.logf("gridworker: campaign %s spec unavailable: %v", id, err)
+		st.worker.log.Warn("campaign spec unavailable", "campaign", id, "err", err)
 		return nil
 	}
 	st.mu.Lock()
@@ -269,11 +355,17 @@ func (st *workerState) specFor(id string) *CampaignSpec {
 // execute runs one shard and uploads its record with retry.
 func (st *workerState) execute(ctx context.Context, campaignID string, spec CampaignSpec, shard Shard) {
 	w := st.worker
-	w.logf("gridworker: executing shard %d (%v)", shard.Index, shard.Cell)
+	w.log.Info("executing shard", "campaign", campaignID, "shard", shard.Index, "cell", shard.Cell.String())
 	rec := w.RunShard(spec, shard)
+	if rec.Err != "" {
+		w.m.executedFailed.Inc()
+	} else {
+		w.m.executedOK.Inc()
+	}
 	defer func() {
 		st.mu.Lock()
 		delete(st.executing, shard.Index)
+		w.m.busyG.Set(float64(len(st.executing)))
 		st.mu.Unlock()
 		select {
 		case st.wake <- struct{}{}:
@@ -281,24 +373,35 @@ func (st *workerState) execute(ctx context.Context, campaignID string, spec Camp
 		}
 	}()
 	for {
+		t0 := time.Now()
 		resp, err := st.client.Result(ResultRequest{
 			WorkerID: st.workerID(), CampaignID: campaignID, Shard: shard.Index, Record: rec,
 		})
+		w.m.uploadH.Observe(time.Since(t0).Seconds())
 		if err == nil {
 			switch {
 			case resp.Stale:
-				w.logf("gridworker: shard %d result stale (campaign moved on)", shard.Index)
+				w.m.uploadStale.Inc()
+				w.log.Warn("shard result stale (campaign moved on)", "shard", shard.Index)
 			case resp.Duplicate:
-				w.logf("gridworker: shard %d result was a duplicate", shard.Index)
+				w.m.uploadDup.Inc()
+				w.log.Info("shard result was a duplicate", "shard", shard.Index)
 			default:
-				w.logf("gridworker: shard %d (%v) uploaded", shard.Index, shard.Cell)
+				w.m.uploadOK.Inc()
+				w.log.Info("shard uploaded", "campaign", campaignID, "shard", shard.Index, "cell", shard.Cell.String())
 			}
-			if w.OnShardDone != nil && !resp.Stale {
-				w.OnShardDone(shard, rec)
+			if !resp.Stale {
+				st.mu.Lock()
+				st.done++
+				st.mu.Unlock()
+				if w.OnShardDone != nil {
+					w.OnShardDone(shard, rec)
+				}
 			}
 			return
 		}
-		w.logf("gridworker: upload shard %d: %v (retrying)", shard.Index, err)
+		w.m.uploadRetry.Inc()
+		w.log.Warn("shard upload failed; retrying", "shard", shard.Index, "err", err)
 		select {
 		case <-ctx.Done():
 			return

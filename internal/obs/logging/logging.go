@@ -1,0 +1,170 @@
+// Package logging is the fleet's structured logging layer: a thin
+// vocabulary over log/slog shared by every daemon and CLI so that one
+// campaign's log lines correlate across processes. Each line carries the
+// emitting component plus whatever fabric coordinates apply — campaign
+// ID, shard index, worker ID — as attributes rather than prose, which
+// makes a multi-process campaign greppable by `campaign=<id>` whether
+// the handler renders text or JSON.
+//
+// Commands bind the shared -log-level / -log-format flags with
+// BindFlags and build their logger with Flags.Logger. Libraries accept a
+// *slog.Logger and never choose the handler themselves; the LogfHandler
+// adapter keeps printf-style sinks (tests passing t.Logf, older Logf
+// hooks) usable behind the same structured call sites.
+package logging
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"log/slog"
+	"os"
+	"strings"
+	"sync"
+)
+
+// Flags is the destination of the shared logging flag block. Bind it
+// per command with BindFlags so every binary exposes the same
+// vocabulary.
+type Flags struct {
+	Level  string // -log-level: debug, info, warn, error
+	Format string // -log-format: text or json
+}
+
+// BindFlags registers the shared logging flags on fs (use
+// flag.CommandLine in main) and returns the destination struct.
+func BindFlags(fs *flag.FlagSet) *Flags {
+	f := &Flags{}
+	fs.StringVar(&f.Level, "log-level", "info", "log verbosity: debug, info, warn, error")
+	fs.StringVar(&f.Format, "log-format", "text", "log line encoding: text or json")
+	return f
+}
+
+// Logger builds the command's logger on os.Stderr from the bound flags,
+// tagging every line with the component name.
+func (f *Flags) Logger(component string) (*slog.Logger, error) {
+	level, err := ParseLevel(f.Level)
+	if err != nil {
+		return nil, err
+	}
+	switch f.Format {
+	case "text", "json":
+	default:
+		return nil, fmt.Errorf("logging: unknown -log-format %q (want text or json)", f.Format)
+	}
+	return New(os.Stderr, level, f.Format, component), nil
+}
+
+// ParseLevel maps a -log-level flag value to a slog.Level.
+func ParseLevel(s string) (slog.Level, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "debug":
+		return slog.LevelDebug, nil
+	case "info", "":
+		return slog.LevelInfo, nil
+	case "warn", "warning":
+		return slog.LevelWarn, nil
+	case "error":
+		return slog.LevelError, nil
+	default:
+		return 0, fmt.Errorf("logging: unknown -log-level %q (want debug, info, warn, error)", s)
+	}
+}
+
+// New builds a logger writing to w with the given minimum level and
+// format ("json" selects the JSON handler, anything else text), tagging
+// every line with component. Pass component "" to skip the tag.
+func New(w io.Writer, level slog.Leveler, format, component string) *slog.Logger {
+	opts := &slog.HandlerOptions{Level: level}
+	var h slog.Handler
+	if format == "json" {
+		h = slog.NewJSONHandler(w, opts)
+	} else {
+		h = slog.NewTextHandler(w, opts)
+	}
+	l := slog.New(h)
+	if component != "" {
+		l = l.With("component", component)
+	}
+	return l
+}
+
+// Discard returns a logger that drops everything — the nil-object for
+// code paths that want an always-usable *slog.Logger.
+func Discard() *slog.Logger { return slog.New(discardHandler{}) }
+
+type discardHandler struct{}
+
+func (discardHandler) Enabled(context.Context, slog.Level) bool  { return false }
+func (discardHandler) Handle(context.Context, slog.Record) error { return nil }
+func (discardHandler) WithAttrs([]slog.Attr) slog.Handler        { return discardHandler{} }
+func (discardHandler) WithGroup(string) slog.Handler             { return discardHandler{} }
+
+// Logf adapts a printf-style sink (testing.T.Logf, a legacy Logf hook)
+// into a *slog.Logger, rendering each record as "LEVEL msg k=v ...".
+// Nil logf yields a Discard logger, so call sites can pass an optional
+// hook straight through.
+func Logf(logf func(format string, args ...any)) *slog.Logger {
+	if logf == nil {
+		return Discard()
+	}
+	return slog.New(&logfHandler{logf: logf})
+}
+
+// logfHandler renders records to a printf sink. All levels are enabled:
+// the sink owns any filtering (tests want everything anyway).
+type logfHandler struct {
+	logf  func(format string, args ...any)
+	attrs []slog.Attr
+	group string
+	mu    sync.Mutex
+}
+
+func (h *logfHandler) Enabled(context.Context, slog.Level) bool { return true }
+
+func (h *logfHandler) Handle(_ context.Context, r slog.Record) error {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s %s", r.Level, r.Message)
+	// Attrs accumulated via WithAttrs already carry their group prefix;
+	// only the record's own attrs still need the current one.
+	for _, a := range h.attrs {
+		fmt.Fprintf(&sb, " %s=%v", a.Key, a.Value.Resolve().Any())
+	}
+	r.Attrs(func(a slog.Attr) bool {
+		fmt.Fprintf(&sb, " %s=%v", h.prefixed(a.Key), a.Value.Resolve().Any())
+		return true
+	})
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.logf("%s", sb.String())
+	return nil
+}
+
+func (h *logfHandler) prefixed(key string) string {
+	if h.group == "" {
+		return key
+	}
+	return h.group + "." + key
+}
+
+func (h *logfHandler) WithAttrs(attrs []slog.Attr) slog.Handler {
+	merged := make([]slog.Attr, 0, len(h.attrs)+len(attrs))
+	merged = append(merged, h.attrs...)
+	for _, a := range attrs {
+		a.Key = h.prefixed(a.Key)
+		merged = append(merged, a)
+	}
+	return &logfHandler{logf: h.logf, attrs: merged, group: h.group}
+}
+
+func (h *logfHandler) WithGroup(name string) slog.Handler {
+	if name == "" {
+		return h
+	}
+	prefix := name
+	if h.group != "" {
+		prefix = h.group + "." + name
+	}
+	return &logfHandler{logf: h.logf, attrs: h.attrs, group: prefix}
+}

@@ -196,30 +196,16 @@ func (f *Forest) WriteChrome(w io.Writer, l *Log) error {
 }
 
 // assignLanes partitions spans into the minimum number of lanes such
-// that no lane holds two overlapping spans (greedy interval coloring).
-// Spans are ordered by start within each lane.
+// that no lane holds two overlapping spans (greedy interval coloring,
+// shared with the fleet export's wall-clock lanes). Spans are ordered
+// by start within each lane.
 func assignLanes(spans []*Span) [][]*Span {
 	ordered := make([]*Span, len(spans))
 	copy(ordered, spans)
 	sortSpans(ordered)
-	var lanes [][]*Span
-	var laneEnd []float64
-	for _, sp := range ordered {
-		placed := false
-		for i := range lanes {
-			if laneEnd[i] <= sp.Start {
-				lanes[i] = append(lanes[i], sp)
-				laneEnd[i] = sp.End
-				placed = true
-				break
-			}
-		}
-		if !placed {
-			lanes = append(lanes, []*Span{sp})
-			laneEnd = append(laneEnd, sp.End)
-		}
-	}
-	return lanes
+	return assignIntervalLanes(ordered,
+		func(sp *Span) float64 { return sp.Start },
+		func(sp *Span) float64 { return sp.End })
 }
 
 func sortedKeys(m map[int][]*Span) []int {

@@ -1,0 +1,162 @@
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Fleet Chrome-trace export: where chrome.go lays out one simulation's
+// virtual time (processes = sites and links), this file lays out a
+// distributed campaign's wall-clock time. Track layout follows the same
+// conventions:
+//
+//   - One process per fabric worker, with as many "slot k" thread lanes
+//     as the worker ran shards concurrently, holding shard phase spans
+//     (cat "book" between lease grant and first heartbeat, cat "exec"
+//     while executing).
+//   - An "events" lane per process of instant markers (lease expiry,
+//     requeue, poison).
+//   - Spans or markers with no worker attribution land on a synthetic
+//     "dispatcher" process.
+//
+// Within every lane the greedy interval assignment guarantees spans are
+// monotone and non-overlapping. Timestamps are microseconds of
+// wall-clock time relative to the campaign's first event.
+
+const (
+	fleetPIDBase   = 1
+	fleetEventsTID = 999
+)
+
+// FleetSpan is one shard phase on one worker's lanes. Start and End are
+// seconds relative to the trace origin.
+type FleetSpan struct {
+	Worker string // lane owner; "" lands on the dispatcher process
+	Name   string
+	Cat    string
+	Start  float64
+	End    float64
+	Args   map[string]any
+}
+
+// FleetMarker is one instant event on a worker's events lane.
+type FleetMarker struct {
+	Worker string
+	Name   string
+	Cat    string
+	T      float64
+	Args   map[string]any
+}
+
+// WriteFleetChrome writes spans and markers as Chrome trace-event JSON
+// (viewable in chrome://tracing and Perfetto).
+func WriteFleetChrome(w io.Writer, spans []FleetSpan, markers []FleetMarker) error {
+	const usec = 1e6
+	var out chromeFile
+	out.DisplayTimeUnit = "ms"
+
+	laneOwner := func(name string) string {
+		if name == "" {
+			return "dispatcher"
+		}
+		return name
+	}
+	workers := map[string]bool{}
+	for _, sp := range spans {
+		workers[laneOwner(sp.Worker)] = true
+	}
+	for _, m := range markers {
+		workers[laneOwner(m.Worker)] = true
+	}
+	names := make([]string, 0, len(workers))
+	for name := range workers {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	pidOf := make(map[string]int, len(names))
+	for i, name := range names {
+		pid := fleetPIDBase + i
+		pidOf[name] = pid
+		out.TraceEvents = append(out.TraceEvents, chromeEvent{
+			Name: "process_name", Ph: "M", Pid: pid, Tid: 0,
+			Args: map[string]any{"name": "worker " + name},
+		})
+	}
+
+	byWorker := make(map[string][]FleetSpan)
+	for _, sp := range spans {
+		name := laneOwner(sp.Worker)
+		byWorker[name] = append(byWorker[name], sp)
+	}
+	for _, name := range names {
+		pid := pidOf[name]
+		ws := byWorker[name]
+		sort.SliceStable(ws, func(i, j int) bool {
+			if ws[i].Start != ws[j].Start {
+				return ws[i].Start < ws[j].Start
+			}
+			return ws[i].Name < ws[j].Name
+		})
+		lanes := assignIntervalLanes(ws,
+			func(sp FleetSpan) float64 { return sp.Start },
+			func(sp FleetSpan) float64 { return sp.End })
+		for lane, laneSpans := range lanes {
+			out.TraceEvents = append(out.TraceEvents, chromeEvent{
+				Name: "thread_name", Ph: "M", Pid: pid, Tid: lane,
+				Args: map[string]any{"name": fmt.Sprintf("slot %d", lane)},
+			})
+			for _, sp := range laneSpans {
+				dur := (sp.End - sp.Start) * usec
+				out.TraceEvents = append(out.TraceEvents, chromeEvent{
+					Name: sp.Name, Cat: sp.Cat, Ph: "X", Ts: sp.Start * usec,
+					Dur: &dur, Pid: pid, Tid: lane, Args: sp.Args,
+				})
+			}
+		}
+	}
+
+	markerLaneNamed := map[int]bool{}
+	for _, m := range markers {
+		pid := pidOf[laneOwner(m.Worker)]
+		if !markerLaneNamed[pid] {
+			markerLaneNamed[pid] = true
+			out.TraceEvents = append(out.TraceEvents, chromeEvent{
+				Name: "thread_name", Ph: "M", Pid: pid, Tid: fleetEventsTID,
+				Args: map[string]any{"name": "events"},
+			})
+		}
+		out.TraceEvents = append(out.TraceEvents, chromeEvent{
+			Name: m.Name, Cat: m.Cat, Ph: "i", Ts: m.T * usec,
+			Pid: pid, Tid: fleetEventsTID, S: "t", Args: m.Args,
+		})
+	}
+
+	enc := json.NewEncoder(w)
+	return enc.Encode(out)
+}
+
+// assignIntervalLanes partitions already-sorted intervals into the
+// minimum number of lanes such that no lane holds two overlapping
+// intervals (greedy interval coloring). Items must be ordered by start.
+func assignIntervalLanes[T any](items []T, start, end func(T) float64) [][]T {
+	var lanes [][]T
+	var laneEnd []float64
+	for _, it := range items {
+		placed := false
+		for i := range lanes {
+			if laneEnd[i] <= start(it) {
+				lanes[i] = append(lanes[i], it)
+				laneEnd[i] = end(it)
+				placed = true
+				break
+			}
+		}
+		if !placed {
+			lanes = append(lanes, []T{it})
+			laneEnd = append(laneEnd, end(it))
+		}
+	}
+	return lanes
+}

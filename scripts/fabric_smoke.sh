@@ -2,14 +2,19 @@
 # Fabric smoke test: run the same campaign single-process and through a
 # dispatcher + two loopback workers — killing one worker mid-campaign so
 # its shards requeue — and require the merged JSONL stream and CSV report
-# to be byte-identical to the single-process run.
+# to be byte-identical to the single-process run. Along the way, scrape
+# /metrics from both daemons, validate the campaign timeline and the
+# exported fleet Chrome trace with obscheck, and require the lease-expiry
+# and requeue evidence of the kill to show up in all three.
 #
 # Usage: scripts/fabric_smoke.sh [port]
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 port="${1:-7171}"
+wport=$((port + 1))
 base="http://127.0.0.1:$port"
+wbase="http://127.0.0.1:$wport"
 workdir="$(mktemp -d)"
 cleanup() {
   # shellcheck disable=SC2046 # word-splitting of PIDs is intended
@@ -18,7 +23,7 @@ cleanup() {
 }
 trap cleanup EXIT
 
-go build -o "$workdir" ./cmd/gridsweep ./cmd/griddispatch ./cmd/gridworker
+go build -o "$workdir" ./cmd/gridsweep ./cmd/griddispatch ./cmd/gridworker ./cmd/obscheck
 
 echo "smoke: single-process reference run"
 # One worker: completion order == campaign order == the fabric's
@@ -29,7 +34,8 @@ echo "smoke: single-process reference run"
 echo "smoke: starting dispatcher on $base (2 s leases)"
 "$workdir/griddispatch" -listen "127.0.0.1:$port" -lease 2 \
   -journal "$workdir/queue.journal" -out "$workdir/merged.jsonl" \
-  -manifest "$workdir/merged.manifest.json" &
+  -manifest "$workdir/merged.manifest.json" -log-format json \
+  2>"$workdir/dispatcher.log" &
 
 for _ in $(seq 50); do
   curl -sf "$base/api/state" >/dev/null && break
@@ -38,7 +44,8 @@ done
 
 echo "smoke: submitting campaign through the fabric"
 "$workdir/gridsweep" -fig 3a -quick -dispatch "$base" \
-  -jsonl "$workdir/dist.jsonl" -csv >"$workdir/dist.csv" &
+  -jsonl "$workdir/dist.jsonl" -fleet-trace "$workdir/fleet.json.gz" \
+  -csv >"$workdir/dist.csv" &
 submit=$!
 
 echo "smoke: starting doomed worker-a"
@@ -56,12 +63,23 @@ done
 echo "smoke: killing worker-a mid-campaign (SIGKILL)"
 kill -9 "$wa" 2>/dev/null || true
 
-echo "smoke: starting surviving worker-b"
-"$workdir/gridworker" -dispatcher "$base" -name worker-b &
+echo "smoke: starting surviving worker-b (monitor on $wbase)"
+"$workdir/gridworker" -dispatcher "$base" -name worker-b -stay \
+  -listen "127.0.0.1:$wport" &
 wb=$!
 
+# Mid-campaign: both daemons' /metrics must already be well-formed
+# Prometheus text (obscheck validates the exposition format).
+for _ in $(seq 50); do
+  curl -sf "$wbase/metrics" >/dev/null && break
+  sleep 0.2
+done
+curl -s "$base/metrics" >"$workdir/dispatcher.mid.prom"
+curl -s "$wbase/metrics" >"$workdir/worker.mid.prom"
+"$workdir/obscheck" -metrics "$workdir/dispatcher.mid.prom"
+"$workdir/obscheck" -metrics "$workdir/worker.mid.prom"
+
 wait "$submit"
-wait "$wb"
 
 state="$(curl -s "$base/api/state")"
 echo "smoke: final state: $state"
@@ -70,11 +88,33 @@ if ! grep -q '"requeues":' <<<"$state"; then
   exit 1
 fi
 
+# Post-merge observability: the SIGKILL must be visible in the metrics,
+# the journal-backed timeline, and the exported Chrome trace.
+curl -s "$base/metrics" >"$workdir/dispatcher.prom"
+curl -s "$wbase/metrics" >"$workdir/worker.prom"
+curl -s "$base/api/timeline" >"$workdir/timeline.json"
+curl -sf "$base/api/fleet" | grep -q '"phase":"merged"'
+"$workdir/obscheck" -metrics "$workdir/dispatcher.prom" \
+  -require fabric_lease_expiries_total,fabric_shards_requeued_total,fabric_shards,fabric_journal_appends_total,fabric_workers_registered_total,fabric_results_total
+"$workdir/obscheck" -metrics "$workdir/worker.prom" \
+  -require worker_shards_executed_total,worker_uploads_total
+"$workdir/obscheck" -timeline "$workdir/timeline.json" \
+  -require-events queued,booked,uploaded,lease_expired,requeued
+"$workdir/obscheck" -chrome "$workdir/fleet.json.gz" \
+  -require-marker lease_expired -require-process worker-b
+
+kill "$wb" 2>/dev/null || true
+wait "$wb" 2>/dev/null || true
+
 cmp "$workdir/single.jsonl" "$workdir/dist.jsonl"
 cmp "$workdir/single.jsonl" "$workdir/merged.jsonl"
 cmp "$workdir/single.csv" "$workdir/dist.csv"
 grep -q '"merged": true' "$workdir/merged.manifest.json"
 grep -q '"worker": "worker-b"' "$workdir/merged.manifest.json"
+# Structured JSON logs: every dispatcher line parses and carries the
+# component attribute.
+head -1 "$workdir/dispatcher.log" | grep -q '"component":"griddispatch"'
 
 echo "smoke: OK — merged stream, dispatcher -out copy, and CSV report"
-echo "smoke:      byte-identical to the single-process run"
+echo "smoke:      byte-identical to the single-process run;"
+echo "smoke:      metrics, timeline, and fleet trace all recorded the kill"
