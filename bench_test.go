@@ -521,6 +521,18 @@ func BenchmarkFaults(b *testing.B) {
 // cmd/kernelbench, which tracks it in BENCH_kernel.json).
 func BenchmarkSim(b *testing.B) { kernelbench.Sim(b) }
 
+// BenchmarkResultsMemory streams one million synthetic completed jobs
+// through the results pipeline in each mode (body shared with
+// cmd/resultsbench, which tracks it in BENCH_results_mem.json). Full
+// mode's B/op and live-results-bytes grow linearly with jobs — one
+// JobRecord each — while bounded mode's stay flat, the O(1) claim of
+// DESIGN.md §17 as a measurement.
+func BenchmarkResultsMemory(b *testing.B) {
+	for _, mode := range []string{core.ResultModeFull, core.ResultModeBounded} {
+		b.Run(mode, kernelbench.ResultsMemory(mode, 1_000_000))
+	}
+}
+
 // BenchmarkEngineThroughput measures raw simulator performance: virtual
 // events processed per wall second on the default scenario.
 func BenchmarkEngineThroughput(b *testing.B) {

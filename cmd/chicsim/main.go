@@ -10,6 +10,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"net/http"
 	"os"
 	"os/signal"
 	"strconv"
@@ -57,6 +58,7 @@ func main() {
 	flag.IntVar(&cfg.DSThreshold, "ds-threshold", cfg.DSThreshold, "popularity threshold for replication")
 	flag.IntVar(&cfg.DSDeleteAfter, "ds-delete-after", cfg.DSDeleteAfter, "DS deletes replicas idle for this many windows (0 = LRU only)")
 	flag.Float64Var(&cfg.MaxTime, "max-time", cfg.MaxTime, "abort after this virtual time (0 = none)")
+	flag.StringVar(&cfg.ResultMode, "result-mode", cfg.ResultMode, "result collection: full (per-job records) or bounded (constant-memory sketches; exact aggregates identical)")
 	flag.Float64Var(&cfg.InfoStaleness, "staleness", cfg.InfoStaleness, "GIS snapshot staleness (s, 0 = oracle)")
 	flag.BoolVar(&cfg.RegionalInfo, "regional-info", cfg.RegionalInfo, "schedulers see only in-region replicas plus masters")
 	flag.Float64Var(&cfg.Faults.SiteCrash.MTBF, "site-mtbf", cfg.Faults.SiteCrash.MTBF, "mean time between site crashes (s, 0 = off)")
@@ -208,12 +210,16 @@ func main() {
 	}
 	var srv *monitor.Server
 	if obsFlags.ListenAddr != "" {
-		srv, err = monitor.Start(obsFlags.ListenAddr, reg, func() any {
+		var extra map[string]http.Handler
+		if obsFlags.Pprof {
+			extra = monitor.PprofHandlers()
+		}
+		srv, err = monitor.StartMux(obsFlags.ListenAddr, reg, func() any {
 			return map[string]any{
 				"command": "chicsim", "seed": cfg.Seed,
 				"es": cfg.ES, "ls": cfg.LS, "ds": cfg.DS,
 			}
-		})
+		}, extra)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "chicsim:", err)
 			os.Exit(1)
@@ -373,6 +379,12 @@ func main() {
 		fmt.Println()
 		report.ResponseHistogram(os.Stdout, res.RespHistCounts, res.RespHistEdges, 60)
 	}
+	if res.ResultMode == core.ResultModeBounded {
+		fmt.Println()
+		report.HotItems(os.Stdout, "site", res.TopSites)
+		fmt.Println()
+		report.HotItems(os.Stdout, "dataset", res.TopDatasets)
+	}
 	if *heatmap {
 		fmt.Println()
 		report.Heatmap(os.Stdout, res.Samples, 100)
@@ -386,6 +398,10 @@ func printResults(r core.Results) {
 	fmt.Printf("jobs done:             %d (completed=%v)\n", r.JobsDone, r.Completed)
 	fmt.Printf("makespan:              %.0f s\n", r.Makespan)
 	fmt.Printf("avg response time:     %.1f s   (median %.1f, p95 %.1f)\n", r.AvgResponseSec, r.MedResponseSec, r.P95ResponseSec)
+	if r.ResultMode == core.ResultModeBounded {
+		fmt.Printf("result mode:           bounded (min %.1f, max %.1f exact; quantiles ±%.0f%%, %d exemplar rows)\n",
+			r.MinResponseSec, r.MaxResponseSec, 100*r.RespQuantileRelErr, len(r.Exemplars))
+	}
 	fmt.Printf("avg queue wait:        %.1f s\n", r.AvgQueueWait)
 	fmt.Printf("response breakdown:    dispatch %.1f + data %.1f + cpu %.1f + exec %.1f s\n",
 		r.AvgDispatchWaitSec, r.AvgDataWaitSec, r.AvgCPUWaitSec, r.AvgExecSec)

@@ -25,12 +25,14 @@ import (
 	"flag"
 	"fmt"
 	"log/slog"
+	"net/http"
 	"os"
 	"os/signal"
 	"syscall"
 
 	"chicsim/internal/fabric"
 	"chicsim/internal/obs/logging"
+	"chicsim/internal/obs/monitor"
 )
 
 func main() {
@@ -41,6 +43,7 @@ func main() {
 	mergedOut := flag.String("out", "", "also write the merged canonical JSONL stream to this file")
 	manifestOut := flag.String("manifest", "", "write a merged run manifest (worker/shard provenance) to this file")
 	quiet := flag.Bool("quiet", false, "suppress per-shard log lines (same as -log-level error)")
+	pprofOn := flag.Bool("pprof", false, "mount net/http/pprof profiling endpoints under /debug/pprof/ on the listener")
 	logFlags := logging.BindFlags(flag.CommandLine)
 	flag.Parse()
 
@@ -65,7 +68,11 @@ func main() {
 		fmt.Fprintln(os.Stderr, "griddispatch:", err)
 		os.Exit(1)
 	}
-	srv, err := fabric.Serve(*listen, d)
+	var extra []map[string]http.Handler
+	if *pprofOn {
+		extra = append(extra, monitor.PprofHandlers())
+	}
+	srv, err := fabric.Serve(*listen, d, extra...)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "griddispatch:", err)
 		os.Exit(1)

@@ -20,6 +20,7 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"net/http"
 	"os"
 	"os/signal"
 	"strconv"
@@ -56,6 +57,7 @@ func main() {
 	fromJSONL := flag.String("from-jsonl", "", "skip the campaign and regenerate reports from a previously streamed -jsonl file")
 	dispatch := flag.String("dispatch", "", "submit the campaign to a fabric dispatcher (griddispatch URL) and wait for the merged result instead of simulating locally")
 	fleetTrace := flag.String("fleet-trace", "", "with -dispatch: write the campaign timeline as a Chrome/Perfetto trace to this file after the merge (.gz gzips)")
+	resultMode := flag.String("result-mode", "", "result collection for every simulation: full (default) or bounded (constant-memory sketches)")
 	obsFlags := obs.BindFlags(flag.CommandLine)
 	flag.Parse()
 
@@ -69,6 +71,7 @@ func main() {
 	}
 
 	base := core.DefaultConfig()
+	base.ResultMode = *resultMode
 	if *list {
 		printTable1(base)
 		return
@@ -218,7 +221,11 @@ func main() {
 
 	var srv *monitor.Server
 	if obsFlags.ListenAddr != "" {
-		srv, err = monitor.Start(obsFlags.ListenAddr, reg, func() any {
+		var extra map[string]http.Handler
+		if obsFlags.Pprof {
+			extra = monitor.PprofHandlers()
+		}
+		srv, err = monitor.StartMux(obsFlags.ListenAddr, reg, func() any {
 			stateMu.Lock()
 			cellsCopy := make(map[string]cellState, len(cellStates))
 			for k, v := range cellStates {
@@ -231,7 +238,7 @@ func main() {
 				RunsPer  int                  `json:"runs_per_cell"`
 				Cells    map[string]cellState `json:"cells"`
 			}{progress.Snapshot(), seedList, len(seedList), cellsCopy}
-		})
+		}, extra)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "gridsweep:", err)
 			os.Exit(1)

@@ -19,6 +19,7 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"net/http"
 	"os"
 	"os/signal"
 	"runtime"
@@ -40,6 +41,7 @@ func main() {
 	listen := flag.String("listen", "", "serve the worker's /metrics and /status on this address")
 	manifestOut := flag.String("manifest", "", "write a worker run manifest (shards produced) to this file")
 	quiet := flag.Bool("quiet", false, "suppress per-shard log lines (same as -log-level error)")
+	pprofOn := flag.Bool("pprof", false, "mount net/http/pprof profiling endpoints under /debug/pprof/ on -listen")
 	logFlags := logging.BindFlags(flag.CommandLine)
 	flag.Parse()
 
@@ -75,7 +77,11 @@ func main() {
 	}
 
 	if *listen != "" {
-		srv, err := monitor.Start(*listen, w.Metrics(), func() any { return w.Status() })
+		var extra map[string]http.Handler
+		if *pprofOn {
+			extra = monitor.PprofHandlers()
+		}
+		srv, err := monitor.StartMux(*listen, w.Metrics(), func() any { return w.Status() }, extra)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "gridworker:", err)
 			os.Exit(1)

@@ -1,0 +1,128 @@
+// Command resultsbench runs the results-pipeline memory benchmark (the
+// same BenchmarkResultsMemory bodies the repo-root suite exercises)
+// through testing.Benchmark and writes BENCH_results_mem.json, so the
+// bounded-result-mode O(1)-memory claim is tracked across PRs: full mode
+// retains one JobRecord per job while bounded mode retains a fixed few
+// tens of kilobytes of sketches, visible in the live-results-bytes
+// column.
+//
+//	resultsbench -o BENCH_results_mem.json          # run and record
+//	resultsbench -prev BENCH_results_mem.json       # run, diff a baseline
+//
+// With -prev, a delta table is printed and each result carries
+// baseline_ns_per_op/speedup fields, making regressions visible in both
+// CI logs and the committed artifact.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+
+	"chicsim/internal/core"
+	"chicsim/internal/kernelbench"
+)
+
+type result struct {
+	Name        string             `json:"name"`
+	NsPerOp     float64            `json:"ns_per_op"`
+	AllocsPerOp int64              `json:"allocs_per_op"`
+	BytesPerOp  int64              `json:"bytes_per_op"`
+	Iterations  int                `json:"iterations"`
+	Extra       map[string]float64 `json:"extra,omitempty"`
+
+	// Filled when -prev supplies a baseline containing the same name.
+	BaselineNsPerOp float64 `json:"baseline_ns_per_op,omitempty"`
+	Speedup         float64 `json:"speedup,omitempty"`
+}
+
+type report struct {
+	Suite     string   `json:"suite"`
+	GoVersion string   `json:"go_version"`
+	GOARCH    string   `json:"goarch"`
+	Jobs      int      `json:"jobs"`
+	Results   []result `json:"results"`
+}
+
+func main() {
+	outPath := flag.String("o", "BENCH_results_mem.json", "output JSON path")
+	prevPath := flag.String("prev", "", "baseline BENCH_results_mem.json to diff against")
+	jobs := flag.Int("jobs", 1_000_000, "synthetic completed jobs per iteration")
+	flag.Parse()
+
+	var baseline map[string]result
+	if *prevPath != "" {
+		buf, err := os.ReadFile(*prevPath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "resultsbench: read baseline: %v\n", err)
+			os.Exit(1)
+		}
+		var prev report
+		if err := json.Unmarshal(buf, &prev); err != nil {
+			fmt.Fprintf(os.Stderr, "resultsbench: parse baseline: %v\n", err)
+			os.Exit(1)
+		}
+		baseline = make(map[string]result, len(prev.Results))
+		for _, r := range prev.Results {
+			baseline[r.Name] = r
+		}
+	}
+
+	rep := report{Suite: "results-mem", GoVersion: runtime.Version(), GOARCH: runtime.GOARCH, Jobs: *jobs}
+	for _, mode := range []string{core.ResultModeFull, core.ResultModeBounded} {
+		name := "ResultsMemory/" + mode
+		br := testing.Benchmark(kernelbench.ResultsMemory(mode, *jobs))
+		r := result{
+			Name:        name,
+			NsPerOp:     float64(br.T.Nanoseconds()) / float64(br.N),
+			AllocsPerOp: br.AllocsPerOp(),
+			BytesPerOp:  br.AllocedBytesPerOp(),
+			Iterations:  br.N,
+			Extra:       br.Extra,
+		}
+		if base, ok := baseline[name]; ok && base.NsPerOp > 0 && r.NsPerOp > 0 {
+			r.BaselineNsPerOp = base.NsPerOp
+			r.Speedup = base.NsPerOp / r.NsPerOp
+		}
+		rep.Results = append(rep.Results, r)
+		fmt.Printf("%-24s %14.1f ns/op %12d B/op %6d allocs/op", r.Name,
+			r.NsPerOp, r.BytesPerOp, r.AllocsPerOp)
+		for k, v := range r.Extra {
+			fmt.Printf("  %14.0f %s", v, k)
+		}
+		fmt.Println()
+	}
+
+	// The headline ratio: how much result memory bounded mode saves.
+	full, bounded := rep.Results[0].Extra["live-results-bytes"], rep.Results[1].Extra["live-results-bytes"]
+	if bounded > 0 {
+		fmt.Printf("\nlive results memory at %d jobs: full %.1f MB, bounded %.1f KB (%.0fx smaller)\n",
+			*jobs, full/1e6, bounded/1e3, full/bounded)
+	}
+
+	if baseline != nil {
+		fmt.Printf("\n%-24s %14s %14s %9s\n", "name", "old ns/op", "new ns/op", "delta")
+		for _, r := range rep.Results {
+			if r.BaselineNsPerOp == 0 {
+				continue
+			}
+			delta := (r.NsPerOp - r.BaselineNsPerOp) / r.BaselineNsPerOp * 100
+			fmt.Printf("%-24s %14.1f %14.1f %+8.1f%%\n",
+				r.Name, r.BaselineNsPerOp, r.NsPerOp, delta)
+		}
+	}
+
+	buf, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "resultsbench: marshal: %v\n", err)
+		os.Exit(1)
+	}
+	if err := os.WriteFile(*outPath, append(buf, '\n'), 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "resultsbench: write %s: %v\n", *outPath, err)
+		os.Exit(1)
+	}
+	fmt.Printf("\nwrote %s (%d benchmarks)\n", *outPath, len(rep.Results))
+}

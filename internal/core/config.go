@@ -49,6 +49,16 @@ func (m ESMapping) String() string {
 	}
 }
 
+// Result collection modes (Config.ResultMode).
+const (
+	// ResultModeFull keeps a record per completed job (the default; an
+	// empty ResultMode means the same thing).
+	ResultModeFull = "full"
+	// ResultModeBounded collects results into constant-memory streaming
+	// aggregators; memory is independent of TotalJobs.
+	ResultModeBounded = "bounded"
+)
+
 // Degradation is one injected network failure window.
 type Degradation struct {
 	At         float64 // virtual time the failure starts (s)
@@ -206,6 +216,19 @@ type Config struct {
 	// byte-identical to a build without the subsystem.
 	Faults faults.Config `json:"faults,omitzero"`
 
+	// ResultMode selects how the run's results are collected.
+	// ResultModeFull (or empty, the default) keeps one measurement row per
+	// completed job — exact distribution statistics, O(jobs) memory.
+	// ResultModeBounded swaps the row slice for constant-memory streaming
+	// aggregators (internal/metrics/stream): every exact aggregate field
+	// of Results (counts, sums, means, min/max, makespan, transfer and
+	// fault counters, SiteJobGini) is byte-identical to full mode, while
+	// median/P95/histogram come from a 1%-relative-error sketch, a seeded
+	// deterministic reservoir samples exemplar rows, and top-K sketches
+	// report the hottest sites and datasets. Use bounded for million-job
+	// runs where the record slice would dominate memory.
+	ResultMode string `json:",omitempty"`
+
 	// ObsInterval, when > 0, attaches the observability probe registry
 	// (internal/obs): per-site gauges (queue length, CPU utilization,
 	// storage fill, replica count) and grid-wide gauges/counters
@@ -310,6 +333,8 @@ func (c *Config) Validate() error {
 		return fmt.Errorf("core: OutputFraction = %v", c.OutputFraction)
 	case c.ObsInterval < 0:
 		return fmt.Errorf("core: ObsInterval = %v", c.ObsInterval)
+	case c.ResultMode != "" && c.ResultMode != ResultModeFull && c.ResultMode != ResultModeBounded:
+		return fmt.Errorf("core: ResultMode = %q (want %q or %q)", c.ResultMode, ResultModeFull, ResultModeBounded)
 	case c.Metrics != nil && c.ObsInterval == 0:
 		return fmt.Errorf("core: Metrics registry requires ObsInterval > 0 (gauges sync on the obs tick)")
 	case c.Watchdog != watchdog.Off && c.ObsInterval == 0:

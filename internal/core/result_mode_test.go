@@ -1,0 +1,161 @@
+package core
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+// stripApprox zeroes the fields that are allowed to differ between result
+// modes: the quantile-shaped statistics (approximate in bounded mode) and
+// the bounded-only sketch extras. Everything left — every count, sum,
+// mean, min/max, makespan, Gini, cache/fault/transfer counter — must then
+// be byte-identical between the two modes.
+func stripApprox(r Results) Results {
+	r.MedResponseSec = 0
+	r.P95ResponseSec = 0
+	r.RespHistCounts = nil
+	r.RespHistEdges = nil
+	r.ResultMode = ""
+	r.RespQuantileRelErr = 0
+	r.Exemplars = nil
+	r.TopSites = nil
+	r.TopDatasets = nil
+	r.Series = nil
+	return r
+}
+
+// TestResultModeEquivalence is the bounded-mode contract: across every
+// kernel-golden configuration, a bounded-mode run produces exactly the
+// same exact aggregate fields as a full-mode run — same bits, enforced on
+// the JSON encoding so newly added Results fields are covered by default
+// unless stripApprox explicitly exempts them.
+func TestResultModeEquivalence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	names, cfgs := kernelGoldenCases()
+	for _, name := range names {
+		full := cfgs[name]
+		full.ResultMode = ResultModeFull
+		bounded := cfgs[name]
+		bounded.ResultMode = ResultModeBounded
+
+		fr, err := RunConfig(full)
+		if err != nil {
+			t.Fatalf("%s full: %v", name, err)
+		}
+		br, err := RunConfig(bounded)
+		if err != nil {
+			t.Fatalf("%s bounded: %v", name, err)
+		}
+		if br.ResultMode != ResultModeBounded {
+			t.Fatalf("%s: bounded run reported ResultMode %q", name, br.ResultMode)
+		}
+
+		fb, err := json.Marshal(stripApprox(fr))
+		if err != nil {
+			t.Fatal(err)
+		}
+		bb, err := json.Marshal(stripApprox(br))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(fb, bb) {
+			t.Errorf("%s: exact fields differ between result modes\nfull:    %s\nbounded: %s", name, fb, bb)
+		}
+	}
+}
+
+// TestBoundedModeSketchFields checks the bounded-only outputs on one
+// configuration: quantiles within the documented error of the exact ones,
+// exemplars present, and hot-site/dataset sketches populated.
+func TestBoundedModeSketchFields(t *testing.T) {
+	_, cfgs := kernelGoldenCases()
+	cfg := cfgs["JobDataPresent+DataLeastLoaded"]
+	cfg.ResultMode = ResultModeBounded
+	br, err := RunConfig(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fr, err := RunConfig(cfgs["JobDataPresent+DataLeastLoaded"])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if br.RespQuantileRelErr <= 0 {
+		t.Fatal("RespQuantileRelErr not set")
+	}
+	for _, q := range [][2]float64{
+		{fr.MedResponseSec, br.MedResponseSec},
+		{fr.P95ResponseSec, br.P95ResponseSec},
+	} {
+		rel := (q[1] - q[0]) / q[0]
+		if rel < 0 {
+			rel = -rel
+		}
+		if rel > br.RespQuantileRelErr {
+			t.Errorf("quantile error %v exceeds bound %v (exact %v, sketch %v)",
+				rel, br.RespQuantileRelErr, q[0], q[1])
+		}
+	}
+	if len(br.Exemplars) == 0 || len(br.TopSites) == 0 || len(br.TopDatasets) == 0 {
+		t.Fatalf("sketch outputs missing: %d exemplars, %d sites, %d datasets",
+			len(br.Exemplars), len(br.TopSites), len(br.TopDatasets))
+	}
+	var siteTotal uint64
+	for _, s := range br.TopSites {
+		if s.Over != 0 {
+			t.Errorf("site sketch evicted below capacity: %+v", s)
+		}
+		siteTotal += s.Count
+	}
+	if siteTotal != uint64(br.JobsDone) {
+		t.Errorf("site counts sum to %d, want %d", siteTotal, br.JobsDone)
+	}
+	if fr.ResultMode != "" {
+		t.Errorf("full run reported ResultMode %q", fr.ResultMode)
+	}
+}
+
+// TestBoundedSeriesCapped checks that bounded mode caps Results.Series at
+// the fixed point budget while full mode keeps one point per tick.
+func TestBoundedSeriesCapped(t *testing.T) {
+	_, cfgs := kernelGoldenCases()
+	cfg := cfgs["JobDataPresent+DataLeastLoaded"]
+	cfg.ObsInterval = 5 // fine-grained: thousands of virtual seconds / 5
+	full, err := RunConfig(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.ResultMode = ResultModeBounded
+	bounded, err := RunConfig(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if full.Series == nil || bounded.Series == nil {
+		t.Fatal("series missing")
+	}
+	if len(bounded.Series.Points) > maxBoundedSeriesPoints {
+		t.Fatalf("bounded series has %d points, cap %d", len(bounded.Series.Points), maxBoundedSeriesPoints)
+	}
+	// The windowed series still covers the whole run.
+	fullLast := full.Series.Points[len(full.Series.Points)-1]
+	boundedLast := bounded.Series.Points[len(bounded.Series.Points)-1]
+	if boundedLast.T != fullLast.T {
+		t.Fatalf("bounded series ends at t=%v, full at t=%v", boundedLast.T, fullLast.T)
+	}
+}
+
+func TestResultModeValidation(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.ResultMode = "sketchy"
+	if err := cfg.Validate(); err == nil {
+		t.Fatal("invalid ResultMode accepted")
+	}
+	for _, mode := range []string{"", ResultModeFull, ResultModeBounded} {
+		cfg.ResultMode = mode
+		if err := cfg.Validate(); err != nil {
+			t.Fatalf("mode %q rejected: %v", mode, err)
+		}
+	}
+}

@@ -24,6 +24,11 @@ import (
 	"chicsim/internal/workload"
 )
 
+// maxBoundedSeriesPoints caps Results.Series under ResultModeBounded: the
+// probe registry downsamples through a stride-doubling window instead of
+// growing one Point per tick (see obs.Registry.LimitPoints).
+const maxBoundedSeriesPoints = 512
+
 // Results are the outputs of one Data Grid execution (DGE).
 type Results struct {
 	metrics.Results
@@ -240,7 +245,6 @@ func New(cfg Config) (*Simulation, error) {
 		cfg:            cfg,
 		eng:            desim.New(),
 		cat:            catalog.New(),
-		collector:      metrics.NewCollector(),
 		pushesInFlight: make(map[pushKey]bool),
 		rec:            cfg.Recorder,
 	}
@@ -248,6 +252,14 @@ func New(cfg Config) (*Simulation, error) {
 		s.rec = trace.Discard
 	}
 	root := rng.New(cfg.Seed)
+	if cfg.ResultMode == ResultModeBounded {
+		// The reservoir draws from its own derived sub-stream; Derive does
+		// not perturb root, so every other named stream below is identical
+		// to full mode.
+		s.collector = metrics.NewBounded(root.Derive("results"))
+	} else {
+		s.collector = metrics.NewCollector()
+	}
 
 	var err error
 	if len(cfg.Tiers) > 0 {
@@ -413,6 +425,12 @@ func New(cfg Config) (*Simulation, error) {
 		s.probes = obs.NewRegistry()
 		s.registerProbes()
 		s.probes.StreamTo(cfg.ObsSink)
+		if cfg.ResultMode == ResultModeBounded {
+			// Bounded results extend to the probe series: cap it at a
+			// fixed point budget via the stride-doubling window. A sink
+			// still streams every raw sample.
+			s.probes.LimitPoints(maxBoundedSeriesPoints)
+		}
 	}
 	if cfg.Metrics != nil {
 		s.lmOn = true
@@ -696,11 +714,7 @@ func (s *Simulation) Run() (Results, error) {
 		r.Evictions += st.Store().Evictions()
 		r.FetchesStarted += st.FetchesStarted()
 	}
-	jobsPerSite := make([]float64, len(s.sites))
-	for _, rec := range s.collector.Records() {
-		jobsPerSite[rec.Site]++
-	}
-	if g, err := stats.Gini(jobsPerSite); err == nil {
+	if g, err := stats.Gini(s.collector.SiteJobCounts(len(s.sites))); err == nil {
 		r.SiteJobGini = g
 	}
 	r.Samples = s.samples

@@ -1,11 +1,15 @@
 package experiments
 
 import (
+	"bytes"
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"reflect"
 	"sync"
 	"testing"
+
+	"chicsim/internal/core"
 )
 
 // TestStreamRoundTrip runs a tiny campaign streaming cells to JSONL,
@@ -324,5 +328,47 @@ func TestStreamWriterConcurrent(t *testing.T) {
 	}
 	if _, err := os.Stat(path); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestBoundedResultsDeterministicAcrossWorkers: bounded-mode results —
+// including the seeded exemplar reservoir, whose randomness must come
+// only from the per-run "results" sub-stream — are byte-identical however
+// many workers execute the campaign.
+func TestBoundedResultsDeterministicAcrossWorkers(t *testing.T) {
+	run := func(workers int) []CellResult {
+		base := tinyBase()
+		base.ResultMode = core.ResultModeBounded
+		out := Run(Campaign{
+			Base: base,
+			Cells: []Cell{
+				{ES: "JobDataPresent", DS: "DataLeastLoaded", BandwidthMBps: 10},
+				{ES: "JobLeastLoaded", DS: "DataRandom", BandwidthMBps: 10},
+			},
+			Seeds:   []uint64{1, 2, 3},
+			Workers: workers,
+		})
+		return out
+	}
+	base := run(1)
+	for _, r := range base {
+		for _, rr := range r.Runs {
+			if rr.ResultMode != core.ResultModeBounded || len(rr.Exemplars) == 0 {
+				t.Fatalf("cell %v: bounded sketch fields missing", r.Cell)
+			}
+		}
+	}
+	want, err := json.Marshal(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 4} {
+		got, err := json.Marshal(run(workers))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Errorf("workers=%d: bounded results differ from serial run", workers)
+		}
 	}
 }

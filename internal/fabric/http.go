@@ -17,9 +17,17 @@ const maxBodyBytes = 64 << 20
 // Serve mounts the dispatcher's API on the monitor's HTTP plumbing, so
 // one listener offers both the fabric protocol (/api/...) and the live
 // control-plane surface (/metrics, /status, /events SSE) — state changes
-// are published as SSE events exactly like campaign progress is.
-func Serve(addr string, d *Dispatcher) (*monitor.Server, error) {
-	srv, err := monitor.StartMux(addr, d.Registry(), func() any { return d.State() }, d.Handlers())
+// are published as SSE events exactly like campaign progress is. extra
+// routes (e.g. monitor.PprofHandlers for -pprof) mount alongside the
+// fabric API; patterns must not collide.
+func Serve(addr string, d *Dispatcher, extra ...map[string]http.Handler) (*monitor.Server, error) {
+	routes := d.Handlers()
+	for _, m := range extra {
+		for pattern, h := range m {
+			routes[pattern] = h
+		}
+	}
+	srv, err := monitor.StartMux(addr, d.Registry(), func() any { return d.State() }, routes)
 	if err != nil {
 		return nil, err
 	}

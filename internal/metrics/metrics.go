@@ -2,6 +2,18 @@
 // reports: average job completion (response) time, average data transferred
 // per job, and average processor idle time (§5.2), plus supporting detail
 // (queue waits, transfer split by cause, makespan, percentiles).
+//
+// The Collector runs in one of two modes. Full mode (NewCollector) keeps a
+// JobRecord per completed job — O(jobs) memory — and computes distribution
+// statistics from the raw rows. Bounded mode (NewBounded) replaces the
+// record slice with the constant-memory aggregators in metrics/stream: a
+// log-bucketed histogram for quantiles, a seeded reservoir of exemplar
+// rows, and space-saving top-K sketches for the hottest sites and
+// datasets. Every exact aggregate (counts, sums, means, min/max, makespan,
+// transfer counters) is accumulated identically — same floating-point
+// operations in the same completion order — so the exact fields of Results
+// are byte-identical between the two modes; only quantile-shaped fields
+// (median, P95, histogram bins) come from the sketch in bounded mode.
 package metrics
 
 import (
@@ -11,12 +23,27 @@ import (
 
 	"chicsim/internal/desim"
 	"chicsim/internal/job"
+	"chicsim/internal/metrics/stream"
+	"chicsim/internal/rng"
 	"chicsim/internal/stats"
 )
 
 // RespHistBins is the bin count of the response-time histogram attached
 // to Results (equal-width over the observed range; see stats.Histogram).
 const RespHistBins = 12
+
+// ExemplarK is how many exemplar job rows bounded mode samples uniformly
+// from the completion stream (Vitter reservoir; deterministic for a given
+// seed regardless of worker count).
+const ExemplarK = 64
+
+// HotTrackK is the capacity of the bounded-mode space-saving sketches: any
+// site or dataset involved in more than jobs/HotTrackK completions is
+// guaranteed to be tracked.
+const HotTrackK = 64
+
+// HotReportK is how many of the tracked heavy hitters Results reports.
+const HotReportK = 16
 
 // TransferPurpose labels why bytes moved.
 type TransferPurpose int
@@ -89,7 +116,33 @@ func (r JobRecord) Decompose() Decomposition {
 
 // Collector accumulates measurements during a run.
 type Collector struct {
-	records     []JobRecord
+	bounded bool
+
+	// Exact aggregates, streamed in completion order by JobDone. Both
+	// modes run the identical accumulation code, which is what makes the
+	// exact Results fields byte-identical between them.
+	jobs        int
+	respSum     float64
+	queueSum    float64
+	dispatchSum float64
+	dataSum     float64
+	cpuSum      float64
+	execSum     float64
+	makespan    float64
+	respMin     float64
+	respMax     float64
+	siteJobs    []float64
+
+	// Full mode: the raw rows (quantiles and the response histogram are
+	// computed exactly from these).
+	records []JobRecord
+
+	// Bounded mode: constant-memory sketches standing in for the rows.
+	hist      *stream.Histogram
+	exemplars *stream.Reservoir[JobRecord]
+	topSites  *stream.TopK
+	topFiles  *stream.TopK
+
 	fetchBytes  float64
 	replBytes   float64
 	outputBytes float64
@@ -98,15 +151,34 @@ type Collector struct {
 	outputCount int
 }
 
-// NewCollector returns an empty collector.
+// NewCollector returns an empty full-mode collector (one JobRecord kept
+// per completed job).
 func NewCollector() *Collector { return &Collector{} }
+
+// NewBounded returns a bounded-mode collector whose memory is independent
+// of how many jobs complete. src seeds the exemplar reservoir; pass a
+// dedicated sub-stream (e.g. root.Derive("results")) so sampling never
+// perturbs the simulation's own randomness.
+func NewBounded(src *rng.Source) *Collector {
+	return &Collector{
+		bounded:   true,
+		hist:      stream.NewHistogram(),
+		exemplars: stream.NewReservoir[JobRecord](ExemplarK, src),
+		topSites:  stream.NewTopK(HotTrackK),
+		topFiles:  stream.NewTopK(HotTrackK),
+	}
+}
+
+// Bounded reports whether the collector runs in bounded (constant-memory)
+// mode.
+func (c *Collector) Bounded() bool { return c.bounded }
 
 // JobDone records a completed job.
 func (c *Collector) JobDone(j *job.Job) {
 	if j.State != job.Done {
 		panic(fmt.Sprintf("metrics: JobDone for job %d in state %v", j.ID, j.State))
 	}
-	c.records = append(c.records, JobRecord{
+	rec := JobRecord{
 		ID:          j.ID,
 		User:        j.User,
 		Origin:      int(j.Origin),
@@ -117,7 +189,43 @@ func (c *Collector) JobDone(j *job.Job) {
 		Start:       j.StartTime,
 		End:         j.EndTime,
 		ComputeTime: j.ComputeTime,
-	})
+	}
+
+	resp := rec.Response()
+	if c.jobs == 0 || resp < c.respMin {
+		c.respMin = resp
+	}
+	if c.jobs == 0 || resp > c.respMax {
+		c.respMax = resp
+	}
+	c.jobs++
+	c.respSum += resp
+	c.queueSum += rec.Start - rec.Dispatch
+	d := rec.Decompose()
+	c.dispatchSum += d.DispatchWait
+	c.dataSum += d.DataWait
+	c.cpuSum += d.CPUWait
+	c.execSum += d.Exec
+	if rec.End > c.makespan {
+		c.makespan = rec.End
+	}
+	if rec.Site >= 0 { // defensive: simulator jobs always have a site by Done
+		for len(c.siteJobs) <= rec.Site {
+			c.siteJobs = append(c.siteJobs, 0)
+		}
+		c.siteJobs[rec.Site]++
+	}
+
+	if !c.bounded {
+		c.records = append(c.records, rec)
+		return
+	}
+	c.hist.Observe(resp)
+	c.exemplars.Add(rec)
+	c.topSites.Add(int64(rec.Site))
+	for _, f := range j.Inputs {
+		c.topFiles.Add(int64(f))
+	}
 }
 
 // Transfer records bytes moved for the given purpose.
@@ -138,10 +246,24 @@ func (c *Collector) Transfer(p TransferPurpose, bytes float64) {
 }
 
 // JobsDone returns the number of completed jobs recorded.
-func (c *Collector) JobsDone() int { return len(c.records) }
+func (c *Collector) JobsDone() int { return c.jobs }
 
 // Records returns the recorded rows (shared slice; treat as read-only).
+// Bounded mode keeps no rows and returns nil; use SiteJobCounts and the
+// Results sketch fields instead.
 func (c *Collector) Records() []JobRecord { return c.records }
+
+// SiteJobCounts returns per-site completed-job counts padded with zeros to
+// numSites entries (sites that completed nothing still count toward load
+// spread). The returned slice is a copy.
+func (c *Collector) SiteJobCounts(numSites int) []float64 {
+	if numSites < len(c.siteJobs) {
+		numSites = len(c.siteJobs)
+	}
+	out := make([]float64, numSites)
+	copy(out, c.siteJobs)
+	return out
+}
 
 // Results are the aggregate measurements of one Data Grid execution.
 type Results struct {
@@ -151,6 +273,8 @@ type Results struct {
 	AvgResponseSec float64 // paper Figure 3a / 5
 	MedResponseSec float64
 	P95ResponseSec float64
+	MinResponseSec float64 // exact in both result modes
+	MaxResponseSec float64 // exact in both result modes
 	AvgQueueWait   float64 // StartTime − DispatchTime
 
 	// Response-time decomposition (means over jobs; see JobRecord.
@@ -166,7 +290,9 @@ type Results struct {
 	// Response-time distribution: RespHistCounts[i] jobs finished with
 	// response in [RespHistEdges[i], RespHistEdges[i+1]). Equal-width bins
 	// over the observed range (RespHistBins of them); render with
-	// report.ResponseHistogram.
+	// report.ResponseHistogram. Exact in full mode; in bounded mode the
+	// bins are reconstructed from the log-bucketed sketch, so counts near
+	// bin edges may shift by one bin.
 	RespHistCounts []int     `json:",omitempty"`
 	RespHistEdges  []float64 `json:",omitempty"`
 
@@ -179,48 +305,64 @@ type Results struct {
 	OutputCount     int
 
 	IdleFrac float64 // paper Figure 4: fraction of processor-time idle
+
+	// Bounded-mode extras. ResultMode records which collector produced
+	// this Results. RespQuantileRelErr is the documented relative-error
+	// bound on MedResponseSec/P95ResponseSec (zero when they are exact).
+	// Exemplars is a uniform deterministic sample of completed-job rows;
+	// TopSites and TopDatasets are space-saving heavy-hitter estimates
+	// (true count within [Count−Over, Count]).
+	ResultMode         string           `json:",omitempty"`
+	RespQuantileRelErr float64          `json:",omitempty"`
+	Exemplars          []JobRecord      `json:",omitempty"`
+	TopSites           []stream.HotItem `json:",omitempty"`
+	TopDatasets        []stream.HotItem `json:",omitempty"`
 }
 
 // Summarize computes the aggregates. busyCEIntegral is Σ over sites of
 // ∫ busy(t) dt up to makespan; totalCEs is the grid-wide processor count.
 func (c *Collector) Summarize(busyCEIntegral float64, totalCEs int) Results {
 	r := Results{
-		JobsDone:    len(c.records),
+		JobsDone:    c.jobs,
 		FetchCount:  c.fetchCount,
 		ReplCount:   c.replCount,
 		OutputCount: c.outputCount,
 	}
-	if len(c.records) == 0 {
+	if c.bounded {
+		r.ResultMode = "bounded"
+	}
+	if c.jobs == 0 {
 		return r
 	}
-	responses := make([]float64, 0, len(c.records))
-	for _, rec := range c.records {
-		responses = append(responses, rec.Response())
-		r.AvgQueueWait += rec.Start - rec.Dispatch
-		d := rec.Decompose()
-		r.AvgDispatchWaitSec += d.DispatchWait
-		r.AvgDataWaitSec += d.DataWait
-		r.AvgCPUWaitSec += d.CPUWait
-		r.AvgExecSec += d.Exec
-		if rec.End > r.Makespan {
-			r.Makespan = rec.End
+	n := float64(c.jobs)
+	r.Makespan = c.makespan
+	r.AvgResponseSec = c.respSum / n
+	r.MinResponseSec = c.respMin
+	r.MaxResponseSec = c.respMax
+	r.AvgQueueWait = c.queueSum / n
+	r.AvgDispatchWaitSec = c.dispatchSum / n
+	r.AvgDataWaitSec = c.dataSum / n
+	r.AvgCPUWaitSec = c.cpuSum / n
+	r.AvgExecSec = c.execSum / n
+
+	if c.bounded {
+		r.MedResponseSec = c.hist.Quantile(0.5)
+		r.P95ResponseSec = c.hist.Quantile(0.95)
+		r.RespQuantileRelErr = c.hist.RelativeError()
+		r.RespHistCounts, r.RespHistEdges = c.hist.Bins(RespHistBins)
+		r.Exemplars = c.exemplars.Items()
+		r.TopSites = c.topSites.Items(HotReportK)
+		r.TopDatasets = c.topFiles.Items(HotReportK)
+	} else {
+		responses := make([]float64, 0, len(c.records))
+		for _, rec := range c.records {
+			responses = append(responses, rec.Response())
 		}
+		sort.Float64s(responses)
+		r.MedResponseSec = percentile(responses, 0.5)
+		r.P95ResponseSec = percentile(responses, 0.95)
+		r.RespHistCounts, r.RespHistEdges = stats.Histogram(responses, RespHistBins)
 	}
-	sort.Float64s(responses)
-	sum := 0.0
-	for _, v := range responses {
-		sum += v
-	}
-	n := float64(len(responses))
-	r.AvgResponseSec = sum / n
-	r.MedResponseSec = percentile(responses, 0.5)
-	r.P95ResponseSec = percentile(responses, 0.95)
-	r.RespHistCounts, r.RespHistEdges = stats.Histogram(responses, RespHistBins)
-	r.AvgQueueWait /= n
-	r.AvgDispatchWaitSec /= n
-	r.AvgDataWaitSec /= n
-	r.AvgCPUWaitSec /= n
-	r.AvgExecSec /= n
 
 	const mb = 1e6
 	r.AvgDataPerJobMB = (c.fetchBytes + c.replBytes + c.outputBytes) / mb / n

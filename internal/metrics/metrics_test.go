@@ -5,7 +5,9 @@ import (
 	"testing"
 
 	"chicsim/internal/job"
+	"chicsim/internal/rng"
 	"chicsim/internal/storage"
+	"chicsim/internal/topology"
 )
 
 func doneJob(id job.ID, submit, start, end float64) *job.Job {
@@ -117,6 +119,141 @@ func TestRecordFields(t *testing.T) {
 	}
 	if rec.Response() != 55 {
 		t.Fatalf("Response = %v", rec.Response())
+	}
+}
+
+// fillBoth feeds the same synthetic completion stream to a full and a
+// bounded collector and returns both summaries.
+func fillBoth(t *testing.T, n int) (full, bounded Results) {
+	t.Helper()
+	feed := func(c *Collector) Results {
+		src := rng.New(99)
+		for i := 0; i < n; i++ {
+			submit := float64(i)
+			start := submit + src.Range(1, 50)
+			end := start + src.Range(10, 500)
+			j := doneJob(job.ID(i), submit, start, end)
+			j.Site = topology.SiteID(i % 5)
+			c.JobDone(j)
+		}
+		c.Transfer(FetchTransfer, 250e6)
+		c.Transfer(ReplicationTransfer, 100e6)
+		return c.Summarize(float64(n)*20, 8)
+	}
+	full = feed(NewCollector())
+	bounded = feed(NewBounded(rng.New(99).Derive("results")))
+	return full, bounded
+}
+
+func TestBoundedExactFieldsMatchFull(t *testing.T) {
+	full, bounded := fillBoth(t, 500)
+	if bounded.ResultMode != "bounded" || full.ResultMode != "" {
+		t.Fatalf("ResultMode = %q / %q", full.ResultMode, bounded.ResultMode)
+	}
+	// Every exact field must match to the bit.
+	pairs := [][2]float64{
+		{full.Makespan, bounded.Makespan},
+		{full.AvgResponseSec, bounded.AvgResponseSec},
+		{full.MinResponseSec, bounded.MinResponseSec},
+		{full.MaxResponseSec, bounded.MaxResponseSec},
+		{full.AvgQueueWait, bounded.AvgQueueWait},
+		{full.AvgDispatchWaitSec, bounded.AvgDispatchWaitSec},
+		{full.AvgDataWaitSec, bounded.AvgDataWaitSec},
+		{full.AvgCPUWaitSec, bounded.AvgCPUWaitSec},
+		{full.AvgExecSec, bounded.AvgExecSec},
+		{full.AvgDataPerJobMB, bounded.AvgDataPerJobMB},
+		{full.IdleFrac, bounded.IdleFrac},
+	}
+	for i, p := range pairs {
+		if p[0] != p[1] {
+			t.Errorf("exact field %d differs: full %v, bounded %v", i, p[0], p[1])
+		}
+	}
+	if full.JobsDone != bounded.JobsDone || full.FetchCount != bounded.FetchCount {
+		t.Fatal("count fields differ")
+	}
+	// Quantiles are approximate but bounded by the documented error.
+	for _, q := range [][2]float64{
+		{full.MedResponseSec, bounded.MedResponseSec},
+		{full.P95ResponseSec, bounded.P95ResponseSec},
+	} {
+		if rel := math.Abs(q[1]-q[0]) / q[0]; rel > bounded.RespQuantileRelErr {
+			t.Errorf("quantile error %v exceeds bound %v (full %v, bounded %v)",
+				rel, bounded.RespQuantileRelErr, q[0], q[1])
+		}
+	}
+}
+
+func TestBoundedSketchOutputs(t *testing.T) {
+	_, bounded := fillBoth(t, 500)
+	if len(bounded.Exemplars) != ExemplarK {
+		t.Fatalf("exemplars = %d, want %d", len(bounded.Exemplars), ExemplarK)
+	}
+	if len(bounded.TopSites) != 5 {
+		t.Fatalf("top sites = %d, want 5 distinct", len(bounded.TopSites))
+	}
+	// 500 jobs round-robined over 5 sites: each site exactly 100.
+	for _, s := range bounded.TopSites {
+		if s.Count != 100 || s.Over != 0 {
+			t.Fatalf("site sketch inexact under capacity: %+v", s)
+		}
+	}
+	if len(bounded.TopDatasets) == 0 || bounded.TopDatasets[0].Key != 1 {
+		t.Fatalf("datasets = %+v (every job reads file 1)", bounded.TopDatasets)
+	}
+	if bounded.RespHistCounts == nil || len(bounded.RespHistCounts) != RespHistBins {
+		t.Fatalf("hist bins = %v", bounded.RespHistCounts)
+	}
+	total := 0
+	for _, c := range bounded.RespHistCounts {
+		total += c
+	}
+	if total != 500 {
+		t.Fatalf("hist total = %d", total)
+	}
+}
+
+func TestBoundedExemplarsDeterministic(t *testing.T) {
+	_, a := fillBoth(t, 300)
+	_, b := fillBoth(t, 300)
+	if len(a.Exemplars) != len(b.Exemplars) {
+		t.Fatal("exemplar counts differ")
+	}
+	for i := range a.Exemplars {
+		if a.Exemplars[i] != b.Exemplars[i] {
+			t.Fatalf("exemplar %d diverged between identical runs", i)
+		}
+	}
+}
+
+func TestBoundedRecordsNil(t *testing.T) {
+	c := NewBounded(rng.New(1))
+	c.JobDone(doneJob(1, 0, 10, 20))
+	if c.Records() != nil {
+		t.Fatal("bounded collector kept records")
+	}
+	if !c.Bounded() {
+		t.Fatal("Bounded() = false")
+	}
+	if c.JobsDone() != 1 {
+		t.Fatalf("JobsDone = %d", c.JobsDone())
+	}
+}
+
+func TestSiteJobCountsPadded(t *testing.T) {
+	c := NewCollector()
+	j := doneJob(1, 0, 5, 10)
+	j.Site = 2
+	c.JobDone(j)
+	got := c.SiteJobCounts(6)
+	want := []float64{0, 0, 1, 0, 0, 0}
+	if len(got) != 6 {
+		t.Fatalf("len = %d", len(got))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("counts = %v", got)
+		}
 	}
 }
 

@@ -1,0 +1,52 @@
+package stream
+
+import "chicsim/internal/rng"
+
+// Reservoir is a fixed-capacity uniform sample of a stream (Vitter's
+// Algorithm R): after n Adds each item has been kept with probability
+// k/n, using exactly one rng draw per Add beyond the first k. All
+// randomness comes from the Source passed at construction, so a reservoir
+// fed the same stream from the same seeded sub-stream yields
+// byte-identical samples — across runs and across however many campaign
+// workers execute sibling simulations.
+type Reservoir[T any] struct {
+	k     int
+	n     int
+	items []T
+	src   *rng.Source
+}
+
+// NewReservoir returns a reservoir keeping at most k items, drawing
+// replacement decisions from src.
+func NewReservoir[T any](k int, src *rng.Source) *Reservoir[T] {
+	if k <= 0 {
+		panic("stream: reservoir capacity must be positive")
+	}
+	if src == nil {
+		panic("stream: reservoir needs an rng source")
+	}
+	return &Reservoir[T]{k: k, items: make([]T, 0, k), src: src}
+}
+
+// Add offers one item to the sample.
+func (r *Reservoir[T]) Add(item T) {
+	r.n++
+	if len(r.items) < r.k {
+		r.items = append(r.items, item)
+		return
+	}
+	if j := r.src.Intn(r.n); j < r.k {
+		r.items[j] = item
+	}
+}
+
+// Seen returns how many items have been offered.
+func (r *Reservoir[T]) Seen() int { return r.n }
+
+// Items returns the current sample in slot order (a copy; at most k
+// items, fewer when the stream was shorter).
+func (r *Reservoir[T]) Items() []T {
+	out := make([]T, len(r.items))
+	copy(out, r.items)
+	return out
+}

@@ -1,0 +1,91 @@
+package stream
+
+import "sort"
+
+// TopK is a space-saving heavy-hitters sketch (Metwally et al.): at most
+// `capacity` keys are tracked; when a new key arrives with the table
+// full, the key with the smallest count is evicted and the newcomer
+// inherits its count as a documented overestimate. For any key whose true
+// frequency exceeds N/capacity (N = total Adds) the sketch is guaranteed
+// to hold it, and each entry's error is bounded by its Over value:
+// trueCount ∈ [Count−Over, Count].
+//
+// Eviction is deterministic: the minimum is chosen by (count, key) order,
+// never by map iteration, so two sketches fed the same stream are
+// identical.
+type TopK struct {
+	cap     int
+	entries []hotEntry
+	index   map[int64]int // key → position in entries
+}
+
+type hotEntry struct {
+	key   int64
+	count uint64
+	over  uint64
+}
+
+// HotItem is one reported heavy hitter. The true frequency of Key lies in
+// [Count−Over, Count].
+type HotItem struct {
+	Key   int64
+	Count uint64
+	Over  uint64
+}
+
+// NewTopK returns an empty sketch tracking at most capacity keys.
+func NewTopK(capacity int) *TopK {
+	if capacity <= 0 {
+		panic("stream: topk capacity must be positive")
+	}
+	return &TopK{cap: capacity, index: make(map[int64]int, capacity)}
+}
+
+// Add counts one occurrence of key.
+func (t *TopK) Add(key int64) {
+	if pos, ok := t.index[key]; ok {
+		t.entries[pos].count++
+		return
+	}
+	if len(t.entries) < t.cap {
+		t.index[key] = len(t.entries)
+		t.entries = append(t.entries, hotEntry{key: key, count: 1})
+		return
+	}
+	// Evict the (count, key)-minimal entry; the newcomer inherits its
+	// count as the overestimate bound.
+	minPos := 0
+	for i := 1; i < len(t.entries); i++ {
+		e, m := t.entries[i], t.entries[minPos]
+		if e.count < m.count || (e.count == m.count && e.key < m.key) {
+			minPos = i
+		}
+	}
+	old := t.entries[minPos]
+	delete(t.index, old.key)
+	t.entries[minPos] = hotEntry{key: key, count: old.count + 1, over: old.count}
+	t.index[key] = minPos
+}
+
+// Seen returns how many distinct keys are currently tracked.
+func (t *TopK) Seen() int { return len(t.entries) }
+
+// Items returns the k highest-count entries, ordered by count descending
+// then key ascending (deterministic). k larger than the tracked set
+// returns everything.
+func (t *TopK) Items(k int) []HotItem {
+	out := make([]HotItem, 0, len(t.entries))
+	for _, e := range t.entries {
+		out = append(out, HotItem{Key: e.key, Count: e.count, Over: e.over})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Count != out[j].Count {
+			return out[i].Count > out[j].Count
+		}
+		return out[i].Key < out[j].Key
+	})
+	if k < len(out) {
+		out = out[:k]
+	}
+	return out
+}

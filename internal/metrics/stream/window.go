@@ -1,0 +1,131 @@
+package stream
+
+// Window caps a sampled time series at a fixed number of stored points by
+// widening its effective sampling window: raw samples are merged in
+// groups of `stride`, and whenever the store fills, adjacent stored
+// points merge pairwise and the stride doubles. Memory is O(maxPoints)
+// however long the run; the stored series always covers the whole run at
+// uniform (power-of-two × base) resolution.
+//
+// Merging is kind-aware: gauge columns average over the merged window,
+// counter columns keep the window's last value (counters are monotone
+// running totals, so "value at window end" is the faithful downsample).
+// The merge arithmetic is fixed-order, so the windowed series is as
+// deterministic as the raw one.
+type Window struct {
+	max       int
+	isCounter []bool
+	stride    int
+
+	points []WindowPoint
+
+	pendT    float64
+	pendVals []float64
+	pendN    int
+}
+
+// WindowPoint is one stored (possibly merged) sample.
+type WindowPoint struct {
+	T      float64
+	Values []float64
+}
+
+// NewWindow returns a window storing at most maxPoints merged points for
+// a series whose columns have the given counter/gauge kinds. maxPoints is
+// rounded up to an even minimum of 2.
+func NewWindow(maxPoints int, isCounter []bool) *Window {
+	if maxPoints < 2 {
+		maxPoints = 2
+	}
+	if maxPoints%2 == 1 {
+		maxPoints++
+	}
+	return &Window{
+		max:       maxPoints,
+		isCounter: append([]bool(nil), isCounter...),
+		stride:    1,
+		pendVals:  make([]float64, len(isCounter)),
+	}
+}
+
+// Stride returns how many raw samples each stored point currently spans.
+func (w *Window) Stride() int { return w.stride }
+
+// Add feeds one raw sample. values must have one entry per column.
+func (w *Window) Add(t float64, values []float64) {
+	if len(values) != len(w.isCounter) {
+		panic("stream: window sample has wrong column count")
+	}
+	w.pendT = t
+	for i, v := range values {
+		if w.isCounter[i] {
+			w.pendVals[i] = v
+		} else {
+			w.pendVals[i] += v
+		}
+	}
+	w.pendN++
+	if w.pendN < w.stride {
+		return
+	}
+	w.points = append(w.points, w.flushPending())
+	if len(w.points) == w.max {
+		w.halve()
+	}
+}
+
+// flushPending finalizes the accumulating group into one point and resets
+// the accumulator.
+func (w *Window) flushPending() WindowPoint {
+	vals := make([]float64, len(w.pendVals))
+	for i, v := range w.pendVals {
+		if w.isCounter[i] {
+			vals[i] = v
+		} else {
+			vals[i] = v / float64(w.pendN)
+		}
+		w.pendVals[i] = 0
+	}
+	p := WindowPoint{T: w.pendT, Values: vals}
+	w.pendN = 0
+	return p
+}
+
+// halve merges stored points pairwise and doubles the stride.
+func (w *Window) halve() {
+	half := len(w.points) / 2
+	for i := 0; i < half; i++ {
+		a, b := w.points[2*i], w.points[2*i+1]
+		merged := WindowPoint{T: b.T, Values: make([]float64, len(a.Values))}
+		for c := range a.Values {
+			if w.isCounter[c] {
+				merged.Values[c] = b.Values[c]
+			} else {
+				merged.Values[c] = (a.Values[c] + b.Values[c]) / 2
+			}
+		}
+		w.points[i] = merged
+	}
+	w.points = w.points[:half]
+	w.stride *= 2
+}
+
+// Points returns the windowed series so far, including a partially filled
+// trailing group (averaged over the samples it holds). The window itself
+// is not modified; the result is a copy safe to retain.
+func (w *Window) Points() []WindowPoint {
+	out := make([]WindowPoint, len(w.points), len(w.points)+1)
+	copy(out, w.points)
+	if w.pendN > 0 {
+		vals := make([]float64, len(w.pendVals))
+		for i, v := range w.pendVals {
+			if w.isCounter[i] {
+				vals[i] = v
+			} else {
+				vals[i] = v / float64(w.pendN)
+			}
+		}
+		out = append(out, WindowPoint{T: w.pendT, Values: vals})
+	}
+	return out
+}

@@ -16,11 +16,26 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"sync"
 	"time"
 
 	"chicsim/internal/obs/registry"
 )
+
+// PprofHandlers returns the net/http/pprof routes in StartMux's extra-map
+// shape. Commands mount them behind an explicit -pprof flag: profiling
+// endpoints expose stacks and heap contents, so they are opt-in rather
+// than always-on.
+func PprofHandlers() map[string]http.Handler {
+	return map[string]http.Handler{
+		"/debug/pprof/":        http.HandlerFunc(pprof.Index),
+		"/debug/pprof/cmdline": http.HandlerFunc(pprof.Cmdline),
+		"/debug/pprof/profile": http.HandlerFunc(pprof.Profile),
+		"/debug/pprof/symbol":  http.HandlerFunc(pprof.Symbol),
+		"/debug/pprof/trace":   http.HandlerFunc(pprof.Trace),
+	}
+}
 
 // Server is a running monitor. Create with Start, stop with Close.
 type Server struct {
@@ -51,6 +66,11 @@ func StartMux(addr string, reg *registry.Registry, status func() any, extra map[
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("monitor: %w", err)
+	}
+	if reg != nil {
+		// Every monitored process self-reports Go runtime health (heap,
+		// GC cycles, goroutines) alongside its domain metrics.
+		registry.RegisterRuntimeProbe(reg)
 	}
 	s := &Server{reg: reg, status: status, ln: ln, subs: make(map[chan []byte]struct{})}
 	mux := http.NewServeMux()

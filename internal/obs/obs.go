@@ -18,6 +18,7 @@ import (
 	"fmt"
 
 	"chicsim/internal/desim"
+	"chicsim/internal/metrics/stream"
 )
 
 // Kind distinguishes probe semantics: a Gauge is an instantaneous level
@@ -87,6 +88,8 @@ type Registry struct {
 	byName map[string]bool
 
 	points []Point
+	window *stream.Window // non-nil once LimitPoints caps the series
+	maxPts int
 
 	sink    Sink // optional streaming copy of every sample (see StreamTo)
 	sinkErr error
@@ -128,7 +131,18 @@ func (r *Registry) Sample(t float64) {
 		vals[i] = fn()
 	}
 	p := Point{T: t, Values: vals}
-	r.points = append(r.points, p)
+	if r.maxPts > 0 {
+		if r.window == nil {
+			isCounter := make([]bool, len(r.kinds))
+			for i, k := range r.kinds {
+				isCounter[i] = k == CounterKind
+			}
+			r.window = stream.NewWindow(r.maxPts, isCounter)
+		}
+		r.window.Add(p.T, p.Values)
+	} else {
+		r.points = append(r.points, p)
+	}
 	if r.sink != nil {
 		if err := r.sink.Point(p); err != nil {
 			r.sink = nil
@@ -152,7 +166,30 @@ func (r *Registry) Attach(eng *desim.Engine, interval float64, keepGoing func() 
 	})
 }
 
+// LimitPoints caps the in-memory series at roughly max points: samples
+// are funneled through a stride-doubling downsampling window
+// (metrics/stream.Window) instead of an unbounded slice, so memory stays
+// O(max) however long the run. Gauge columns average over each merged
+// window and counter columns keep the window-end value. Call before the
+// first Sample; probes registered later still work, but a window built on
+// first Sample fixes the column count. A streaming sink (StreamTo) is
+// unaffected — it still receives every raw sample.
+func (r *Registry) LimitPoints(max int) {
+	if len(r.points) > 0 || r.window != nil {
+		panic("obs: LimitPoints after sampling started")
+	}
+	r.maxPts = max
+}
+
 // Series returns everything sampled so far.
 func (r *Registry) Series() *Series {
-	return &Series{Names: r.names, Kinds: r.kinds, Points: r.points}
+	pts := r.points
+	if r.window != nil {
+		wpts := r.window.Points()
+		pts = make([]Point, len(wpts))
+		for i, wp := range wpts {
+			pts[i] = Point{T: wp.T, Values: wp.Values}
+		}
+	}
+	return &Series{Names: r.names, Kinds: r.kinds, Points: pts}
 }

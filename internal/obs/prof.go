@@ -22,6 +22,7 @@ type Flags struct {
 	ListenAddr     string  // -listen: live monitor HTTP address
 	MetricsPath    string  // -metrics-out: final Prometheus-text registry snapshot
 	WatchdogMode   string  // -watchdog: invariant watchdog mode (off, warn, fail)
+	Pprof          bool    // -pprof: mount /debug/pprof/* on the -listen monitor
 }
 
 // BindFlags registers the shared observability flags on fs (use
@@ -38,6 +39,7 @@ func BindFlags(fs *flag.FlagSet) *Flags {
 	fs.StringVar(&f.ListenAddr, "listen", "", "serve live /metrics, /status, and /events on this address (e.g. 127.0.0.1:8080) while running")
 	fs.StringVar(&f.MetricsPath, "metrics-out", "", "write a final Prometheus-text snapshot of the metrics registry to this file")
 	fs.StringVar(&f.WatchdogMode, "watchdog", "off", "online invariant watchdog: off, warn (log and continue), fail (abort the run)")
+	fs.BoolVar(&f.Pprof, "pprof", false, "mount net/http/pprof profiling endpoints under /debug/pprof/ on the -listen monitor")
 	return f
 }
 

@@ -81,7 +81,7 @@ func (p *Progress) RunDone(run string) {
 	elapsed, rate, eta := p.rates()
 	if p.text != nil {
 		fmt.Fprintf(p.text, "%s: %d/%d sims (%.0f%%) | %.1f sims/s | ETA %.0fs | %d/%d workers busy | done %s\n",
-			p.label, p.done, p.total, 100*float64(p.done)/float64(p.total), rate, eta, p.running, p.workers, run)
+			p.label, p.done, p.total, p.percent(), rate, eta, p.running, p.workers, run)
 	}
 	if p.jsonl != nil {
 		rec := struct {
@@ -102,16 +102,28 @@ func (p *Progress) RunDone(run string) {
 }
 
 // rates computes elapsed wall seconds, completion rate, and remaining-time
-// estimate. Caller holds p.mu.
+// estimate. With nothing completed yet the rate is zero and the ETA stays
+// zero ("unknown") rather than dividing through to +Inf or NaN, and a
+// done count past total (tasks added after construction) clamps the ETA
+// at zero instead of going negative. Caller holds p.mu.
 func (p *Progress) rates() (elapsed, rate, eta float64) {
 	elapsed = p.now().Sub(p.start).Seconds()
-	if elapsed > 0 {
+	if elapsed > 0 && p.done > 0 {
 		rate = float64(p.done) / elapsed
 	}
-	if rate > 0 {
+	if rate > 0 && p.total > p.done {
 		eta = float64(p.total-p.done) / rate
 	}
 	return elapsed, rate, eta
+}
+
+// percent returns completion as a percentage, 0 when total is unknown or
+// zero (never NaN or +Inf). Caller holds p.mu.
+func (p *Progress) percent() float64 {
+	if p.total <= 0 {
+		return 0
+	}
+	return 100 * float64(p.done) / float64(p.total)
 }
 
 // Snapshot is the current progress state as one JSON-encodable record —

@@ -2,6 +2,7 @@ package obs
 
 import (
 	"encoding/json"
+	"math"
 	"strings"
 	"testing"
 	"time"
@@ -62,6 +63,53 @@ func TestProgressSnapshotZeroElapsed(t *testing.T) {
 	var nilP *Progress
 	if got := nilP.Snapshot(); got != (Snapshot{}) {
 		t.Fatalf("nil Snapshot = %+v", got)
+	}
+}
+
+// TestProgressZeroTotalFinite: a reporter constructed with zero total
+// (e.g. a campaign whose cell list is discovered later) must emit finite
+// numbers — no NaN percent, no +Inf ETA — in both the text line and the
+// JSONL record.
+func TestProgressZeroTotalFinite(t *testing.T) {
+	var text, jl strings.Builder
+	p, clk := newTestProgress(&text, 0)
+	p.JSONLTo(&jl)
+	p.RunStart()
+	clk.advance(5 * time.Second)
+	p.RunDone("stray")
+	out := text.String()
+	for _, bad := range []string{"NaN", "Inf"} {
+		if strings.Contains(out, bad) {
+			t.Errorf("progress line contains %s:\n%s", bad, out)
+		}
+		if strings.Contains(jl.String(), bad) {
+			t.Errorf("JSONL record contains %s:\n%s", bad, jl.String())
+		}
+	}
+	if !strings.Contains(out, "(0%)") {
+		t.Errorf("zero-total percent not clamped to 0:\n%s", out)
+	}
+	// done (1) exceeds total (0): ETA clamps to 0, never negative.
+	if s := p.Snapshot(); s.EtaS != 0 || math.IsNaN(s.SimsPerS) {
+		t.Fatalf("snapshot = %+v", s)
+	}
+}
+
+// TestProgressETANeverNegative: more completions than the declared total
+// (runs added mid-campaign) must not project a negative ETA.
+func TestProgressETANeverNegative(t *testing.T) {
+	var sb strings.Builder
+	p, clk := newTestProgress(&sb, 2)
+	for i := 0; i < 3; i++ {
+		p.RunStart()
+		clk.advance(time.Second)
+		p.RunDone("r")
+	}
+	if s := p.Snapshot(); s.EtaS < 0 {
+		t.Fatalf("EtaS = %v, want >= 0", s.EtaS)
+	}
+	if strings.Contains(sb.String(), "ETA -") {
+		t.Errorf("negative ETA printed:\n%s", sb.String())
 	}
 }
 

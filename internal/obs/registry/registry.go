@@ -64,6 +64,21 @@ type Registry struct {
 	mu       sync.Mutex
 	families []*family
 	byName   map[string]*family
+	onGather []func()
+	hasRT    bool // runtime probe installed (see RegisterRuntimeProbe)
+}
+
+// OnGather registers fn to run at the start of every Gather, before the
+// families snapshot. Gauges whose source is pull-based (sampled on
+// scrape, like the Go runtime probe) refresh themselves here rather than
+// needing a background updater.
+func (r *Registry) OnGather(fn func()) {
+	if fn == nil {
+		panic("registry: OnGather with nil function")
+	}
+	r.mu.Lock()
+	r.onGather = append(r.onGather, fn)
+	r.mu.Unlock()
 }
 
 // New returns an empty registry.
@@ -331,6 +346,13 @@ type Family struct {
 // across runs; values are read atomically, so gathering concurrently with
 // updates sees each series' latest committed value.
 func (r *Registry) Gather() []Family {
+	r.mu.Lock()
+	hooks := append([]func(){}, r.onGather...)
+	r.mu.Unlock()
+	for _, fn := range hooks {
+		fn()
+	}
+
 	r.mu.Lock()
 	fams := append([]*family(nil), r.families...)
 	r.mu.Unlock()

@@ -215,6 +215,137 @@ func TestWritePrometheusFormat(t *testing.T) {
 	}
 }
 
+// TestHistogramZeroObservations: a registered-but-never-observed
+// histogram must still gather and render as a complete, valid family —
+// all-zero cumulative buckets, zero count and sum — because a monitor
+// can scrape before the first job completes.
+func TestHistogramZeroObservations(t *testing.T) {
+	r := New()
+	_ = r.Histogram("idle_seconds", "Never observed.", []float64{1, 10}).With()
+	fams := r.Gather()
+	hv := fams[0].Samples[0].Hist
+	if hv.Count != 0 || hv.Sum != 0 {
+		t.Fatalf("empty histogram count/sum = %d/%v, want 0/0", hv.Count, hv.Sum)
+	}
+	if want := []uint64{0, 0, 0}; !reflect.DeepEqual(hv.CumCounts, want) {
+		t.Fatalf("CumCounts = %v, want %v", hv.CumCounts, want)
+	}
+	var sb strings.Builder
+	if err := WritePrometheus(&sb, fams); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		`idle_seconds_bucket{le="1"} 0` + "\n",
+		`idle_seconds_bucket{le="+Inf"} 0` + "\n",
+		"idle_seconds_sum 0\n",
+		"idle_seconds_count 0\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+	if err := CheckText(strings.NewReader(out)); err != nil {
+		t.Fatalf("empty-histogram exposition fails CheckText: %v", err)
+	}
+}
+
+// TestHistogramSingleBucket: the smallest legal bucket layout still
+// splits observations between the one finite bound and +Inf.
+func TestHistogramSingleBucket(t *testing.T) {
+	r := New()
+	h := r.Histogram("tiny_seconds", "", []float64{5}).With()
+	h.Observe(3)
+	h.Observe(5) // le is inclusive
+	h.Observe(7)
+	hv := r.Gather()[0].Samples[0].Hist
+	if want := []uint64{2, 3}; !reflect.DeepEqual(hv.CumCounts, want) {
+		t.Fatalf("CumCounts = %v, want %v", hv.CumCounts, want)
+	}
+	if hv.Count != 3 || hv.Sum != 15 {
+		t.Fatalf("count/sum = %d/%v, want 3/15", hv.Count, hv.Sum)
+	}
+}
+
+// TestCheckTextEmptyFamily: a family with headers but no sample lines
+// (registered, no children yet) is valid exposition text, as is a fully
+// empty document.
+func TestCheckTextEmptyFamily(t *testing.T) {
+	r := New()
+	r.Counter("pending_total", "Registered before any labelled child exists.", "state")
+	var sb strings.Builder
+	if err := WritePrometheus(&sb, r.Gather()); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "# TYPE pending_total counter\n") {
+		t.Fatalf("missing TYPE header:\n%s", out)
+	}
+	for _, line := range strings.Split(out, "\n") {
+		if strings.HasPrefix(line, "pending_total") {
+			t.Fatalf("childless family should emit no sample lines, got %q", line)
+		}
+	}
+	if err := CheckText(strings.NewReader(out)); err != nil {
+		t.Fatalf("header-only family fails CheckText: %v", err)
+	}
+	if err := CheckText(strings.NewReader("")); err != nil {
+		t.Fatalf("empty document fails CheckText: %v", err)
+	}
+}
+
+// TestRuntimeProbe: registering the Go runtime probe makes heap/GC/
+// goroutine gauges appear with live values on Gather, and repeated
+// registration is a no-op rather than a duplicate-family panic.
+func TestRuntimeProbe(t *testing.T) {
+	r := New()
+	RegisterRuntimeProbe(r)
+	RegisterRuntimeProbe(r) // idempotent
+	got := map[string]float64{}
+	for _, f := range r.Gather() {
+		if len(f.Samples) == 1 {
+			got[f.Name] = f.Samples[0].Value
+		}
+	}
+	if got["go_heap_alloc_bytes"] <= 0 {
+		t.Errorf("go_heap_alloc_bytes = %v, want > 0", got["go_heap_alloc_bytes"])
+	}
+	if got["go_goroutines"] < 1 {
+		t.Errorf("go_goroutines = %v, want >= 1", got["go_goroutines"])
+	}
+	if _, ok := got["go_gc_cycles_total"]; !ok {
+		t.Error("go_gc_cycles_total not gathered")
+	}
+	var sb strings.Builder
+	if err := WritePrometheus(&sb, r.Gather()); err != nil {
+		t.Fatal(err)
+	}
+	if err := CheckText(strings.NewReader(sb.String())); err != nil {
+		t.Fatalf("runtime probe exposition fails CheckText: %v", err)
+	}
+}
+
+// TestOnGatherHook: hooks run before the snapshot, so a pull-based gauge
+// refreshed in a hook is current in the same Gather; nil hooks panic.
+func TestOnGatherHook(t *testing.T) {
+	r := New()
+	g := r.Gauge("refreshed", "").With()
+	calls := 0
+	r.OnGather(func() { calls++; g.Set(float64(calls)) })
+	if v := r.Gather()[0].Samples[0].Value; v != 1 {
+		t.Fatalf("first gather saw %v, want 1", v)
+	}
+	if v := r.Gather()[0].Samples[0].Value; v != 2 {
+		t.Fatalf("second gather saw %v, want 2", v)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("OnGather(nil) should panic")
+		}
+	}()
+	r.OnGather(nil)
+}
+
 func TestFormatValueSpecials(t *testing.T) {
 	for _, tc := range []struct {
 		v    float64

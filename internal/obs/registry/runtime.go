@@ -1,0 +1,65 @@
+package registry
+
+import (
+	"runtime/metrics"
+	"sync"
+)
+
+// Names read from the Go runtime/metrics catalog by the runtime probe.
+const (
+	rtHeapBytes  = "/memory/classes/heap/objects:bytes"
+	rtGCCycles   = "/gc/cycles/total:gc-cycles"
+	rtGoroutines = "/sched/goroutines:goroutines"
+)
+
+// RegisterRuntimeProbe wires Go runtime self-observability into r: gauges
+// for live heap bytes, completed GC cycles, and goroutine count, sampled
+// from runtime/metrics on every Gather (so every /metrics scrape sees the
+// process's current state — including the memory the results path itself
+// holds, which is how a bounded-mode million-job run shows a flat heap
+// where full mode climbs). Safe to call more than once per registry; later
+// calls are no-ops.
+func RegisterRuntimeProbe(r *Registry) {
+	r.mu.Lock()
+	if r.hasRT {
+		r.mu.Unlock()
+		return
+	}
+	r.hasRT = true
+	r.mu.Unlock()
+
+	heap := r.Gauge("go_heap_alloc_bytes", "Live heap memory occupied by objects (runtime/metrics).").With()
+	gcs := r.Gauge("go_gc_cycles_total", "Completed GC cycles since process start.").With()
+	gor := r.Gauge("go_goroutines", "Current number of live goroutines.").With()
+
+	samples := []metrics.Sample{
+		{Name: rtHeapBytes},
+		{Name: rtGCCycles},
+		{Name: rtGoroutines},
+	}
+	var mu sync.Mutex // metrics.Read reuses the samples slice
+	r.OnGather(func() {
+		mu.Lock()
+		defer mu.Unlock()
+		metrics.Read(samples)
+		for i, s := range samples {
+			var v float64
+			switch s.Value.Kind() {
+			case metrics.KindUint64:
+				v = float64(s.Value.Uint64())
+			case metrics.KindFloat64:
+				v = s.Value.Float64()
+			default:
+				continue // unsupported kind; leave the gauge as-is
+			}
+			switch i {
+			case 0:
+				heap.Set(v)
+			case 1:
+				gcs.Set(v)
+			case 2:
+				gor.Set(v)
+			}
+		}
+	})
+}

@@ -9,6 +9,7 @@ import (
 
 	"chicsim/internal/core"
 	"chicsim/internal/experiments"
+	"chicsim/internal/metrics/stream"
 )
 
 // Metric selects which measurement a figure-style table shows.
@@ -299,6 +300,25 @@ func Histogram(w io.Writer, counts []int, ranks, maxWidth int) {
 	for i := 0; i < ranks; i++ {
 		bar := counts[i] * maxWidth / peak
 		fmt.Fprintf(w, "%4d %6d %s\n", i, counts[i], strings.Repeat("#", bar))
+	}
+}
+
+// HotItems renders a bounded-mode heavy-hitter table (Results.TopSites or
+// Results.TopDatasets): one row per item with its estimated count and,
+// when the space-saving sketch may have overcounted it, the ± error bound
+// (true count lies in [Count−Over, Count]).
+func HotItems(w io.Writer, label string, items []stream.HotItem) {
+	if len(items) == 0 {
+		fmt.Fprintf(w, "(no %s recorded)\n", label)
+		return
+	}
+	fmt.Fprintf(w, "%-10s %12s\n", label, "jobs")
+	for _, it := range items {
+		if it.Over > 0 {
+			fmt.Fprintf(w, "%-10d %12d (−%d possible overcount)\n", it.Key, it.Count, it.Over)
+		} else {
+			fmt.Fprintf(w, "%-10d %12d\n", it.Key, it.Count)
+		}
 	}
 }
 
