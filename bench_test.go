@@ -521,6 +521,20 @@ func BenchmarkFaults(b *testing.B) {
 // cmd/kernelbench, which tracks it in BENCH_kernel.json).
 func BenchmarkSim(b *testing.B) { kernelbench.Sim(b) }
 
+// BenchmarkSimScale runs the fixed 1000-site bounded-results scenario at
+// three job counts (body shared with cmd/kernelbench, which tracks it in
+// BENCH_scale.json). The mallocs/job metric falls toward zero as tiers
+// grow because the slab job store and pooled flow records make the
+// steady-state loop allocation-free; see DESIGN.md §18.
+func BenchmarkSimScale(b *testing.B) {
+	for _, tier := range []struct {
+		name string
+		jobs int
+	}{{"10k", 10_000}, {"100k", 100_000}, {"1M", 1_000_000}} {
+		b.Run(tier.name, kernelbench.SimScale(tier.jobs))
+	}
+}
+
 // BenchmarkResultsMemory streams one million synthetic completed jobs
 // through the results pipeline in each mode (body shared with
 // cmd/resultsbench, which tracks it in BENCH_results_mem.json). Full

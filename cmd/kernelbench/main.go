@@ -6,10 +6,15 @@
 //
 //	kernelbench -o BENCH_kernel.json          # run and record
 //	kernelbench -prev BENCH_kernel.json       # run, diff against a baseline
+//	kernelbench -prev ... -gate 15            # also fail on >15% ns/op regressions
+//	kernelbench -only SimScale                # run one sub-suite (substring match)
 //
 // With -prev, a benchstat-style delta table is printed and each result
 // carries baseline_ns_per_op/speedup fields, making regressions visible
-// in both CI logs and the committed artifact.
+// in both CI logs and the committed artifact. With -gate N, any benchmark
+// whose ns/op regressed more than N% against the baseline fails the run
+// with exit status 1 — the soft regression gate CI applies (override: the
+// bench-regression-ok PR label, see DESIGN.md §18).
 package main
 
 import (
@@ -18,6 +23,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"strings"
 	"testing"
 
 	"chicsim/internal/kernelbench"
@@ -72,6 +78,15 @@ func suite() []struct {
 		name string
 		body func(*testing.B)
 	}{"Sim", kernelbench.Sim})
+	for _, tier := range []struct {
+		name string
+		jobs int
+	}{{"10k", 10_000}, {"100k", 100_000}, {"1M", 1_000_000}} {
+		out = append(out, struct {
+			name string
+			body func(*testing.B)
+		}{"SimScale/" + tier.name, kernelbench.SimScale(tier.jobs)})
+	}
 	return out
 }
 
@@ -79,6 +94,9 @@ func main() {
 	outPath := flag.String("o", "BENCH_kernel.json", "output JSON path")
 	prevPath := flag.String("prev", "", "baseline BENCH_kernel.json to diff against")
 	skipSim := flag.Bool("skip-sim", false, "skip the end-to-end Sim benchmark")
+	only := flag.String("only", "", "run only benchmarks whose name contains this substring")
+	skip := flag.String("skip", "", "skip benchmarks whose name contains this substring")
+	gate := flag.Float64("gate", 0, "with -prev: exit 1 if any ns/op regresses more than this percent (0 disables)")
 	flag.Parse()
 
 	var baseline map[string]result
@@ -104,6 +122,12 @@ func main() {
 		if *skipSim && bm.name == "Sim" {
 			continue
 		}
+		if *only != "" && !strings.Contains(bm.name, *only) {
+			continue
+		}
+		if *skip != "" && strings.Contains(bm.name, *skip) {
+			continue
+		}
 		br := testing.Benchmark(bm.body)
 		r := result{
 			Name:        bm.name,
@@ -126,6 +150,7 @@ func main() {
 		fmt.Println()
 	}
 
+	var regressions []string
 	if baseline != nil {
 		fmt.Printf("\n%-28s %14s %14s %9s\n", "name", "old ns/op", "new ns/op", "delta")
 		for _, r := range rep.Results {
@@ -135,6 +160,11 @@ func main() {
 			delta := (r.NsPerOp - r.BaselineNsPerOp) / r.BaselineNsPerOp * 100
 			fmt.Printf("%-28s %14.1f %14.1f %+8.1f%%\n",
 				r.Name, r.BaselineNsPerOp, r.NsPerOp, delta)
+			if *gate > 0 && delta > *gate {
+				regressions = append(regressions,
+					fmt.Sprintf("%s: %.1f -> %.1f ns/op (%+.1f%% > %.0f%%)",
+						r.Name, r.BaselineNsPerOp, r.NsPerOp, delta, *gate))
+			}
 		}
 	}
 
@@ -148,4 +178,13 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Printf("\nwrote %s (%d benchmarks)\n", *outPath, len(rep.Results))
+
+	if len(regressions) > 0 {
+		fmt.Fprintf(os.Stderr, "\nkernelbench: %d benchmark(s) regressed past the %.0f%% gate:\n", len(regressions), *gate)
+		for _, r := range regressions {
+			fmt.Fprintf(os.Stderr, "  %s\n", r)
+		}
+		fmt.Fprintln(os.Stderr, "If the slowdown is intended and justified, apply the bench-regression-ok label (see DESIGN.md §18) or refresh the committed baseline.")
+		os.Exit(1)
+	}
 }

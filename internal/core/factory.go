@@ -20,17 +20,17 @@ func NewExternal(name string, src *rng.Source, avgComputeSec, avgCEs float64) (s
 	case "JobRandom":
 		return es.Random{Src: src}, nil
 	case "JobLeastLoaded":
-		return es.LeastLoaded{Src: src}, nil
+		return &es.LeastLoaded{Src: src}, nil
 	case "JobDataPresent":
-		return es.DataPresent{Src: src}, nil
+		return &es.DataPresent{Src: src}, nil
 	case "JobLocal":
 		return es.Local{}, nil
 	case "JobBestCost":
-		return es.BestCost{Src: src, AvgComputeSec: avgComputeSec, CEsPerSite: avgCEs}, nil
+		return &es.BestCost{Src: src, AvgComputeSec: avgComputeSec, CEsPerSite: avgCEs}, nil
 	case "JobAdaptive":
-		return es.Adaptive{Src: src, PullFraction: 0.5}, nil
+		return &es.Adaptive{Src: src, PullFraction: 0.5}, nil
 	case "JobRegional":
-		return es.Regional{Src: src}, nil
+		return &es.Regional{Src: src}, nil
 	case "JobFeedback":
 		// Constructed without a tracker: nil-safe telemetry reads make the
 		// standalone policy behave exactly like JobDataPresent. The

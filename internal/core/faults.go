@@ -225,10 +225,12 @@ func (s *Simulation) jobAbandoned(j *job.Job) {
 	s.jobsFailed++
 	s.lm.jobsAbandoned.Inc()
 	s.rec.Record(trace.Event{T: s.eng.Now(), Kind: trace.JobAbandoned, Job: int(j.ID), User: int(j.User)})
+	user := j.User
+	s.jobs.Free(j)
 	if s.workloadSettled() {
 		return
 	}
-	s.driveUser(j.User)
+	s.driveUser(user)
 }
 
 // restoreReplicas is the DS's fault-recovery role: at wake-up,

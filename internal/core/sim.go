@@ -113,6 +113,15 @@ type Simulation struct {
 	collector *metrics.Collector
 	view      scheduler.GridView
 
+	jobs *job.Store // slab job storage; slots recycle at completion
+
+	// Prebuilt callbacks for the recurring engine events, so the steady
+	// state schedules without allocating a closure per event.
+	submitFns []func()    // per user: closed-loop submitNext
+	arriveFns []func()    // per user: open-model submit + rebook
+	dsWakeFns []func()    // per site: dsWake
+	fetchPool []*fetchRec // recycled mover fetch-completion records
+
 	nextJob      []int // per-user index of next job to submit
 	jobsDone     int
 	totalJobs    int
@@ -185,18 +194,53 @@ func (m mover) Fetch(f storage.FileID, from, to topology.SiteID, requester job.I
 			Job: int(requester), File: int(f), Src: int(from), Dst: int(to),
 		})
 	}
-	fl := m.s.net.Transfer(from, to, size, func(fl *netsim.Flow) {
-		m.s.untrackFlow(fl)
-		if from != to {
-			m.s.collector.Transfer(metrics.FetchTransfer, size)
-			m.s.rec.Record(trace.Event{
-				T: m.s.eng.Now(), Kind: trace.FetchEnd,
-				Job: int(requester), File: int(f), Src: int(from), Dst: int(to), Bytes: size,
-			})
-		}
-		done()
-	})
+	fl := m.s.net.Transfer(from, to, size, m.s.newFetchRec(f, from, to, requester, size, done).fn)
 	m.s.trackFlow(fl, fetchFlow, f, from, to)
+}
+
+// fetchRec is a pooled fetch-completion record: it replaces the per-fetch
+// closure mover.Fetch used to allocate. The fn closure is built once per
+// record and captures only the record, which self-releases to the pool
+// before running the completion logic (so cascading fetches can reuse it).
+// Records on flows that get cancelled are simply dropped to the GC — the
+// same cost the old closure paid.
+type fetchRec struct {
+	s         *Simulation
+	f         storage.FileID
+	from, to  topology.SiteID
+	requester job.ID
+	size      float64
+	done      func()
+	fn        func(*netsim.Flow)
+}
+
+func (s *Simulation) newFetchRec(f storage.FileID, from, to topology.SiteID, requester job.ID, size float64, done func()) *fetchRec {
+	var r *fetchRec
+	if n := len(s.fetchPool); n > 0 {
+		r = s.fetchPool[n-1]
+		s.fetchPool[n-1] = nil
+		s.fetchPool = s.fetchPool[:n-1]
+	} else {
+		r = &fetchRec{s: s}
+		r.fn = func(fl *netsim.Flow) { r.finish(fl) }
+	}
+	r.f, r.from, r.to, r.requester, r.size, r.done = f, from, to, requester, size, done
+	return r
+}
+
+func (r *fetchRec) finish(fl *netsim.Flow) {
+	s, f, from, to, requester, size, done := r.s, r.f, r.from, r.to, r.requester, r.size, r.done
+	r.done = nil
+	s.fetchPool = append(s.fetchPool, r)
+	s.untrackFlow(fl)
+	if from != to {
+		s.collector.Transfer(metrics.FetchTransfer, size)
+		s.rec.Record(trace.Event{
+			T: s.eng.Now(), Kind: trace.FetchEnd,
+			Job: int(requester), File: int(f), Src: int(from), Dst: int(to), Bytes: size,
+		})
+	}
+	done()
 }
 
 // view adapts the GIS + network to the scheduler.GridView interface. When
@@ -421,6 +465,19 @@ func New(cfg Config) (*Simulation, error) {
 
 	s.nextJob = make([]int, cfg.Users)
 	s.arrivalSrc = root.Derive("arrivals")
+	s.jobs = job.NewStore()
+	s.submitFns = make([]func(), cfg.Users)
+	s.arriveFns = make([]func(), cfg.Users)
+	for u := 0; u < cfg.Users; u++ {
+		uid := job.UserID(u)
+		s.submitFns[u] = func() { s.submitNext(uid) }
+		s.arriveFns[u] = func() { s.submitNext(uid); s.scheduleArrival(uid) }
+	}
+	s.dsWakeFns = make([]func(), cfg.Sites)
+	for i := range s.dsWakeFns {
+		i := i
+		s.dsWakeFns[i] = func() { s.dsWake(i) }
+	}
 	if cfg.ObsInterval > 0 {
 		s.probes = obs.NewRegistry()
 		s.registerProbes()
@@ -602,8 +659,7 @@ func (s *Simulation) Run() (Results, error) {
 		// Closed model (the paper): first submission at t = 0, next one
 		// on completion of the previous.
 		for u := range s.nextJob {
-			u := u
-			s.eng.Schedule(0, func() { s.submitNext(job.UserID(u)) })
+			s.eng.Schedule(0, s.submitFns[u])
 		}
 	}
 	if s.cfg.SampleInterval > 0 {
@@ -662,9 +718,8 @@ func (s *Simulation) Run() (Results, error) {
 	// Start the per-site Dataset Scheduler loops, staggered across the
 	// first interval so wake-ups don't all collide at the same instant.
 	for i := range s.sites {
-		i := i
 		offset := s.cfg.DSInterval * float64(i+1) / float64(len(s.sites))
-		s.eng.Schedule(offset, func() { s.dsWake(i) })
+		s.eng.Schedule(offset, s.dsWakeFns[i])
 	}
 
 	if s.cfg.MaxTime > 0 {
@@ -771,7 +826,7 @@ func (s *Simulation) submitNext(u job.UserID) {
 	}
 	s.nextJob[u]++
 	spec := specs[idx]
-	j := job.New(spec.ID, u, s.wl.UserHome[u], spec.Inputs, spec.Compute)
+	j := s.jobs.Alloc(spec.ID, u, s.wl.UserHome[u], spec.Inputs, spec.Compute)
 	j.Advance(job.Submitted, s.eng.Now())
 	s.jobsSubmitted++
 	s.lm.jobsSubmitted.Inc()
@@ -818,10 +873,15 @@ func (s *Simulation) jobDone(j *job.Job) {
 	if s.lm.respBySite != nil {
 		s.lm.respBySite[j.Site].Observe(float64(j.ResponseTime()))
 	}
+	// Everything that needed the job has read it (the collector and trace
+	// copy what they keep): recycle the slot before driving the next
+	// submission, which may reuse it immediately.
+	user := j.User
+	s.jobs.Free(j)
 	if s.workloadSettled() {
 		return
 	}
-	s.driveUser(j.User)
+	s.driveUser(user)
 }
 
 // workloadSettled marks the run finished once every job is accounted for
@@ -845,7 +905,7 @@ func (s *Simulation) driveUser(u job.UserID) {
 		return // open model: submissions are driven by the arrival process
 	}
 	if s.cfg.ThinkTimeMean > 0 {
-		s.eng.Schedule(s.arrivalSrc.Exp(s.cfg.ThinkTimeMean), func() { s.submitNext(u) })
+		s.eng.Schedule(s.arrivalSrc.Exp(s.cfg.ThinkTimeMean), s.submitFns[u])
 		return
 	}
 	s.submitNext(u)
@@ -886,10 +946,7 @@ func (s *Simulation) scheduleArrival(u job.UserID) {
 	if s.nextJob[u] >= len(s.wl.Jobs[u]) {
 		return
 	}
-	s.eng.Schedule(s.arrivalSrc.Exp(1/s.cfg.ArrivalRate), func() {
-		s.submitNext(u)
-		s.scheduleArrival(u)
-	})
+	s.eng.Schedule(s.arrivalSrc.Exp(1/s.cfg.ArrivalRate), s.arriveFns[u])
 }
 
 // flushBatch assigns all buffered submissions with the batch heuristic and
@@ -950,7 +1007,7 @@ func (s *Simulation) dsWake(i int) {
 	if st.Down() {
 		// The DS process is down with its site; it resumes (with an empty
 		// popularity window) at the first wake-up after recovery.
-		s.eng.Schedule(s.cfg.DSInterval, func() { s.dsWake(i) })
+		s.eng.Schedule(s.cfg.DSInterval, s.dsWakeFns[i])
 		return
 	}
 	all := st.DrainPopularity()
@@ -975,7 +1032,7 @@ func (s *Simulation) dsWake(i int) {
 	if len(s.lostAt) > 0 && len(s.lostAt[i]) > 0 {
 		s.restoreReplicas(i)
 	}
-	s.eng.Schedule(s.cfg.DSInterval, func() { s.dsWake(i) })
+	s.eng.Schedule(s.cfg.DSInterval, s.dsWakeFns[i])
 }
 
 // dsDelete ages cached replicas at site i and deletes those untouched for

@@ -336,39 +336,60 @@ func TestStreamWriterConcurrent(t *testing.T) {
 // only from the per-run "results" sub-stream — are byte-identical however
 // many workers execute the campaign.
 func TestBoundedResultsDeterministicAcrossWorkers(t *testing.T) {
-	run := func(workers int) []CellResult {
-		base := tinyBase()
+	check := func(t *testing.T, base core.Config, cells []Cell, seeds []uint64, parallel []int) {
+		t.Helper()
 		base.ResultMode = core.ResultModeBounded
-		out := Run(Campaign{
-			Base: base,
-			Cells: []Cell{
-				{ES: "JobDataPresent", DS: "DataLeastLoaded", BandwidthMBps: 10},
-				{ES: "JobLeastLoaded", DS: "DataRandom", BandwidthMBps: 10},
-			},
-			Seeds:   []uint64{1, 2, 3},
-			Workers: workers,
-		})
-		return out
-	}
-	base := run(1)
-	for _, r := range base {
-		for _, rr := range r.Runs {
-			if rr.ResultMode != core.ResultModeBounded || len(rr.Exemplars) == 0 {
-				t.Fatalf("cell %v: bounded sketch fields missing", r.Cell)
+		run := func(workers int) []CellResult {
+			return Run(Campaign{Base: base, Cells: cells, Seeds: seeds, Workers: workers})
+		}
+		serial := run(1)
+		for _, r := range serial {
+			for _, rr := range r.Runs {
+				if rr.ResultMode != core.ResultModeBounded || len(rr.Exemplars) == 0 {
+					t.Fatalf("cell %v: bounded sketch fields missing", r.Cell)
+				}
 			}
 		}
-	}
-	want, err := json.Marshal(base)
-	if err != nil {
-		t.Fatal(err)
-	}
-	for _, workers := range []int{2, 4} {
-		got, err := json.Marshal(run(workers))
+		want, err := json.Marshal(serial)
 		if err != nil {
 			t.Fatal(err)
 		}
-		if !bytes.Equal(got, want) {
-			t.Errorf("workers=%d: bounded results differ from serial run", workers)
+		for _, workers := range parallel {
+			got, err := json.Marshal(run(workers))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(got, want) {
+				t.Errorf("workers=%d: bounded results differ from serial run", workers)
+			}
 		}
 	}
+
+	t.Run("tiny", func(t *testing.T) {
+		check(t, tinyBase(),
+			[]Cell{
+				{ES: "JobDataPresent", DS: "DataLeastLoaded", BandwidthMBps: 10},
+				{ES: "JobLeastLoaded", DS: "DataRandom", BandwidthMBps: 10},
+			},
+			[]uint64{1, 2, 3}, []int{2, 4})
+	})
+
+	// The scale case exercises the slab job store's recycling and the
+	// scheduler scratch buffers at a topology where the high-water mark is
+	// reached and crossed many times: 1000 sites, 10^5 jobs, bounded
+	// results. Workers must still be byte-identical to a serial campaign.
+	t.Run("1000-site-scale", func(t *testing.T) {
+		if testing.Short() {
+			t.Skip("scale determinism case skipped in -short mode")
+		}
+		base := core.DefaultConfig()
+		base.Sites = 1000
+		base.RegionFanout = 25
+		base.Users = 4000
+		base.Files = 2000
+		base.TotalJobs = 100000
+		check(t, base,
+			[]Cell{{ES: "JobDataPresent", DS: "DataLeastLoaded", BandwidthMBps: 10}},
+			[]uint64{1, 2}, []int{2})
+	})
 }

@@ -33,7 +33,13 @@ type Service struct {
 	stale    float64 // snapshot refresh period; 0 = oracle
 	snapTime desim.Time
 	snapLoad []int
-	snapRep  map[storage.FileID][]topology.SiteID
+	// snapRep holds the snapshotted replica lists, indexed by file id
+	// (nil for undefined files). The per-file buffers are reused across
+	// refreshes — each refresh overwrites their contents wholesale, which
+	// is indistinguishable from the historical fresh-copy-per-refresh
+	// because no caller retains a returned slice across events.
+	snapRep [][]topology.SiteID
+	tieBuf  []topology.SiteID // LeastLoaded's detached tie set, reused
 
 	// masterOf records each file's permanent master site. Masters are
 	// globally advertised even under regional scoping (the initial
@@ -124,13 +130,25 @@ func (s *Service) refresh() {
 		return
 	}
 	s.snapTime = now
-	s.snapLoad = make([]int, s.topo.NumSites())
+	n := s.topo.NumSites()
+	if cap(s.snapLoad) < n {
+		s.snapLoad = make([]int, n)
+	}
+	s.snapLoad = s.snapLoad[:n]
 	for i := range s.snapLoad {
 		s.snapLoad[i] = s.loadOf(topology.SiteID(i))
 	}
-	s.snapRep = make(map[storage.FileID][]topology.SiteID, s.cat.NumFiles())
-	for _, f := range s.cat.Files() {
-		s.snapRep[f] = s.cat.Replicas(f)
+	bound := s.cat.FileIDBound()
+	for len(s.snapRep) < bound {
+		s.snapRep = append(s.snapRep, nil)
+	}
+	for f := 0; f < bound; f++ {
+		id := storage.FileID(f)
+		if _, ok := s.cat.Size(id); !ok {
+			s.snapRep[f] = nil
+			continue
+		}
+		s.snapRep[f] = append(s.snapRep[f][:0], s.cat.ReplicaList(id)...)
 	}
 }
 
@@ -161,6 +179,9 @@ func (s *Service) Replicas(f storage.FileID) []topology.SiteID {
 		return s.cat.Replicas(f)
 	}
 	s.refresh()
+	if f < 0 || int(f) >= len(s.snapRep) {
+		return nil
+	}
 	return s.snapRep[f]
 }
 
@@ -170,6 +191,12 @@ func (s *Service) HasReplica(f storage.FileID, site topology.SiteID) bool {
 		return s.cat.HasReplica(f, site)
 	}
 	s.refresh()
+	if f < 0 || int(f) >= len(s.snapRep) {
+		return false
+	}
+	// Linear scan, not binary search: LeastLoaded's tie-set writes can
+	// reorder a snapshot entry within a staleness window (see below), so
+	// the slice is not guaranteed sorted.
 	for _, r := range s.snapRep[f] {
 		if r == site {
 			return true
@@ -181,21 +208,43 @@ func (s *Service) HasReplica(f storage.FileID, site topology.SiteID) bool {
 // LeastLoaded returns the candidate with minimum load; ties are broken
 // uniformly at random from the tied set so no site is systematically
 // preferred. It panics on an empty candidate list.
+//
+// Allocation-free emulation of the historical append-into-subslice tie
+// set: while the running best set still aliases candidates, ties are
+// written into candidates[1:] — observable when the caller passes a
+// snapshot-backed slice, and recorded runs depend on those writes — and
+// once a strictly lower load appears the set moves to a reused scratch
+// buffer (the historical fresh allocation), after which candidates is
+// never written again.
 func (s *Service) LeastLoaded(candidates []topology.SiteID, tie *rng.Source) topology.SiteID {
 	if len(candidates) == 0 {
 		panic("gis: LeastLoaded with no candidates")
 	}
-	best := candidates[:1]
+	n := 1
+	aliased := true
 	bestLoad := s.Load(candidates[0])
-	for _, c := range candidates[1:] {
+	det := s.tieBuf[:0]
+	for i := 1; i < len(candidates); i++ {
+		c := candidates[i]
 		l := s.Load(c)
 		switch {
 		case l < bestLoad:
 			bestLoad = l
-			best = []topology.SiteID{c}
+			aliased = false
+			det = append(det[:0], c)
 		case l == bestLoad:
-			best = append(best, c)
+			if aliased {
+				candidates[n] = c
+				n++
+			} else {
+				det = append(det, c)
+			}
 		}
+	}
+	s.tieBuf = det
+	best := candidates[:n]
+	if !aliased {
+		best = det
 	}
 	if len(best) == 1 || tie == nil {
 		return best[0]

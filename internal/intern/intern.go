@@ -1,0 +1,51 @@
+// Package intern maps strings to small dense integer ids.
+//
+// Several hot structures in the simulator key on identifiers that arrive
+// as strings (metric label values, config-derived names) but are drawn
+// from small, stable vocabularies. Interning each distinct string once
+// yields a dense uint32 id, so the owning structure can replace a
+// string-keyed map — hashing the full string on every access — with a
+// slice indexed by id. The Table is the single source of truth for the
+// id↔string bijection.
+//
+// A Table is not safe for concurrent use; callers that share one across
+// goroutines must provide their own locking (the metrics registry guards
+// its per-family Table with the family mutex it already holds).
+package intern
+
+// Table assigns dense ids to strings in first-seen order. The zero value
+// is an empty table ready for use.
+type Table struct {
+	ids   map[string]uint32
+	names []string
+}
+
+// Intern returns the id for s, assigning the next dense id on first
+// sight. Ids start at 0 and never change once assigned.
+func (t *Table) Intern(s string) uint32 {
+	if id, ok := t.ids[s]; ok {
+		return id
+	}
+	if t.ids == nil {
+		t.ids = make(map[string]uint32)
+	}
+	id := uint32(len(t.names))
+	t.ids[s] = id
+	t.names = append(t.names, s)
+	return id
+}
+
+// Lookup returns the id previously assigned to s, or ok=false if s has
+// never been interned. It never assigns.
+func (t *Table) Lookup(s string) (id uint32, ok bool) {
+	id, ok = t.ids[s]
+	return id, ok
+}
+
+// Name returns the string with the given id. It panics when id has not
+// been assigned, mirroring slice indexing.
+func (t *Table) Name(id uint32) string { return t.names[id] }
+
+// Len returns the number of distinct strings interned so far; valid ids
+// are exactly [0, Len).
+func (t *Table) Len() int { return len(t.names) }

@@ -1,0 +1,75 @@
+package intern
+
+import "testing"
+
+func TestTableAssignsDenseIDsInFirstSeenOrder(t *testing.T) {
+	var tab Table
+	if tab.Len() != 0 {
+		t.Fatalf("zero table Len = %d, want 0", tab.Len())
+	}
+	if _, ok := tab.Lookup("a"); ok {
+		t.Fatal("Lookup on empty table reported ok")
+	}
+	words := []string{"alpha", "beta", "", "gamma", "beta", "alpha"}
+	wantID := []uint32{0, 1, 2, 3, 1, 0}
+	for i, w := range words {
+		if id := tab.Intern(w); id != wantID[i] {
+			t.Fatalf("Intern(%q) = %d, want %d", w, id, wantID[i])
+		}
+	}
+	if tab.Len() != 4 {
+		t.Fatalf("Len = %d, want 4", tab.Len())
+	}
+	for i, w := range words {
+		id, ok := tab.Lookup(w)
+		if !ok || id != wantID[i] {
+			t.Fatalf("Lookup(%q) = %d,%v, want %d,true", w, id, ok, wantID[i])
+		}
+		if tab.Name(id) != w {
+			t.Fatalf("Name(%d) = %q, want %q", id, tab.Name(id), w)
+		}
+	}
+}
+
+func TestNamePanicsOnUnassignedID(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Name on an unassigned id did not panic")
+		}
+	}()
+	var tab Table
+	tab.Intern("only")
+	tab.Name(1)
+}
+
+// FuzzIntern checks the round-trip invariants on arbitrary inputs:
+// interning is idempotent, Name inverts Intern, Lookup agrees with
+// Intern, and Len counts exactly the distinct strings seen.
+func FuzzIntern(f *testing.F) {
+	f.Add("a", "b", "a")
+	f.Add("", "\x00", "x\x00y")
+	f.Add("site-0", "site-1", "site-0")
+	f.Fuzz(func(t *testing.T, a, b, c string) {
+		var tab Table
+		distinct := make(map[string]bool)
+		for _, s := range []string{a, b, c, a, b} {
+			id := tab.Intern(s)
+			distinct[s] = true
+			if got := tab.Intern(s); got != id {
+				t.Fatalf("Intern(%q) unstable: %d then %d", s, id, got)
+			}
+			if got, ok := tab.Lookup(s); !ok || got != id {
+				t.Fatalf("Lookup(%q) = %d,%v after Intern returned %d", s, got, ok, id)
+			}
+			if name := tab.Name(id); name != s {
+				t.Fatalf("Name(Intern(%q)) = %q", s, name)
+			}
+			if int(id) >= tab.Len() {
+				t.Fatalf("id %d out of range for Len %d", id, tab.Len())
+			}
+		}
+		if tab.Len() != len(distinct) {
+			t.Fatalf("Len = %d, want %d distinct", tab.Len(), len(distinct))
+		}
+	})
+}

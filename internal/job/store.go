@@ -1,0 +1,90 @@
+package job
+
+import (
+	"fmt"
+
+	"chicsim/internal/storage"
+	"chicsim/internal/topology"
+)
+
+// slabSize is how many jobs each slab holds. Slabs are fixed-size so the
+// *Job pointers handed out stay stable as the store grows (appending new
+// slabs never moves existing ones).
+const slabSize = 1024
+
+// recycled marks a freed job sitting on the Store's free list; any use of
+// such a job is a lifecycle bug and panics loudly in the State machinery.
+const recycled State = -1
+
+// Store is a slab allocator for jobs: the struct-of-arrays job storage
+// behind million-job runs. Jobs live in index-addressed slabs — hot
+// scheduling fields in one array, cold timestamps in a parallel array —
+// and freed jobs go on a free list for reuse, so the steady-state
+// dispatch→fetch→exec→complete loop allocates nothing per job: after the
+// concurrency high-water mark is reached, every Alloc is a pop.
+//
+// Handles are ordinary *Job pointers (stable for the store's lifetime),
+// so call sites are unchanged; only allocation and release go through the
+// store. A job handle is valid from Alloc until Free; the core frees a
+// job after its completion has been fully recorded.
+type Store struct {
+	slabs [][]Job   // hot fields, slabSize entries each
+	times [][]Times // cold timestamps, parallel to slabs
+	free  []*Job    // recycled entries, reused LIFO
+	next  int       // fresh entries handed out so far (high-water mark)
+	live  int       // entries allocated and not yet freed
+}
+
+// NewStore returns an empty job store.
+func NewStore() *Store { return &Store{} }
+
+// Alloc returns a job in the Created state, recycling a freed slot when
+// one is available and growing by one slab otherwise.
+func (s *Store) Alloc(id ID, user UserID, origin topology.SiteID, inputs []storage.FileID, compute float64) *Job {
+	var j *Job
+	if n := len(s.free); n > 0 {
+		j = s.free[n-1]
+		s.free[n-1] = nil
+		s.free = s.free[:n-1]
+	} else {
+		if s.next == len(s.slabs)*slabSize {
+			hot := make([]Job, slabSize)
+			cold := make([]Times, slabSize)
+			for i := range hot {
+				hot[i].Times = &cold[i]
+				hot[i].fromStore = true
+			}
+			s.slabs = append(s.slabs, hot)
+			s.times = append(s.times, cold)
+		}
+		j = &s.slabs[s.next/slabSize][s.next%slabSize]
+		s.next++
+	}
+	s.live++
+	initJob(j, id, user, origin, inputs, compute)
+	return j
+}
+
+// Free returns a terminal job's slot to the store for reuse. The handle
+// is dead after this call. Freeing a job twice, or one that did not come
+// from a Store, panics.
+func (s *Store) Free(j *Job) {
+	if !j.fromStore {
+		panic(fmt.Sprintf("job: Free of job %d not allocated from a Store", j.ID))
+	}
+	if j.State == recycled {
+		panic(fmt.Sprintf("job: double Free of job %d", j.ID))
+	}
+	j.State = recycled
+	j.Inputs = nil // owned by the workload; drop the reference
+	s.free = append(s.free, j)
+	s.live--
+}
+
+// Live returns how many jobs are currently allocated and not freed.
+func (s *Store) Live() int { return s.live }
+
+// HighWater returns how many distinct slots the store has ever handed
+// out — the peak concurrent job footprint (allocation stops growing once
+// the free list covers the steady state).
+func (s *Store) HighWater() int { return s.next }

@@ -11,6 +11,7 @@
 package kernelbench
 
 import (
+	"runtime"
 	"testing"
 
 	"chicsim/internal/core"
@@ -122,5 +123,50 @@ func Sim(b *testing.B) {
 	}
 	if s := b.Elapsed().Seconds(); s > 0 {
 		b.ReportMetric(float64(events)/s, "events/sec")
+	}
+}
+
+// ScaleConfig is the fixed large-grid scenario behind SimScale: a
+// 1000-site hierarchy, bounded result mode, with only the job count
+// varying across tiers. Exported so tests and ad-hoc tooling can run the
+// exact benchmark scenario.
+func ScaleConfig(jobs int) core.Config {
+	cfg := core.DefaultConfig()
+	cfg.Sites = 1000
+	cfg.RegionFanout = 25
+	cfg.Users = 4000
+	cfg.Files = 2000
+	cfg.TotalJobs = jobs
+	cfg.ResultMode = core.ResultModeBounded
+	return cfg
+}
+
+// SimScale returns a benchmark body running the ScaleConfig scenario at
+// the given job count. Beyond events/sec it reports mallocs/job — total
+// heap allocations over the run divided by jobs. Because the slab job
+// store, pooled flow records, and scheduler scratch buffers make the
+// steady-state loop allocation-free, mallocs/job is dominated by one-time
+// setup and falls toward zero as the tier grows; a flat or rising curve
+// across 10k→1M is a per-job allocation regression.
+func SimScale(jobs int) func(*testing.B) {
+	return func(b *testing.B) {
+		cfg := ScaleConfig(jobs)
+		var events, mallocs uint64
+		var ms runtime.MemStats
+		for i := 0; i < b.N; i++ {
+			runtime.ReadMemStats(&ms)
+			before := ms.Mallocs
+			res, err := core.RunConfig(cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			runtime.ReadMemStats(&ms)
+			events += res.SimEvents
+			mallocs += ms.Mallocs - before
+		}
+		if s := b.Elapsed().Seconds(); s > 0 {
+			b.ReportMetric(float64(events)/s, "events/sec")
+		}
+		b.ReportMetric(float64(mallocs)/float64(b.N)/float64(jobs), "mallocs/job")
 	}
 }

@@ -51,6 +51,14 @@ func (p SharingPolicy) String() string {
 
 // Flow is an in-progress transfer. Exposed fields are read-only snapshots
 // maintained by the Network.
+//
+// Flow structs are pooled: when a transfer finishes or is cancelled the
+// struct returns to the Network's free list and a later Transfer reuses
+// it (with a fresh ID). A *Flow handle is therefore only valid between
+// Transfer and the flow's completion or cancellation — exactly the window
+// the simulator uses them in. The three scheduling closures are built
+// once per struct, when it is first allocated, so the steady-state
+// transfer loop allocates nothing per flow.
 type Flow struct {
 	ID         int
 	Src, Dst   topology.SiteID
@@ -60,10 +68,13 @@ type Flow struct {
 	path       []topology.LinkID
 	done       func(*Flow)
 	ev         desim.Event // pending completion event; zero when stalled or inactive
-	completeFn func()      // completion closure, built once at admission
+	completeFn func()      // completion closure, built once per pooled struct
+	localFn    func()      // zero-hop/zero-size delivery closure
+	activateFn func()      // startup-latency expiry closure
 	ord        int         // index into Network.ordered while active
 	started    desim.Time
 	canceled   bool
+	pooled     bool // on the free list (double-release guard)
 }
 
 // Remaining returns the bytes not yet delivered as of the last rate change.
@@ -94,6 +105,7 @@ type Network struct {
 	ordered []*Flow // active flows in admission order: deterministic iteration
 	onLink  []int   // active flow count per link
 	nextID  int
+	pool    []*Flow // recycled Flow structs with prebuilt closures
 
 	// Reflow scratch state, reused across calls so the per-change-point
 	// hot path allocates nothing.
@@ -199,31 +211,60 @@ func (n *Network) Transfer(src, dst topology.SiteID, size float64, done func(*Fl
 	if size < 0 || math.IsNaN(size) {
 		panic(fmt.Sprintf("netsim: Transfer with invalid size %v", size))
 	}
-	f := &Flow{
-		ID:        n.nextID,
-		Src:       src,
-		Dst:       dst,
-		Size:      size,
-		remaining: size,
-		path:      n.topo.Route(src, dst),
-		done:      done,
-		started:   n.eng.Now(),
-	}
+	f := n.newFlow()
+	f.ID = n.nextID
+	f.Src, f.Dst = src, dst
+	f.Size = size
+	f.remaining = size
+	f.rate = 0
+	f.path = n.topo.Route(src, dst)
+	f.done = done
+	f.started = n.eng.Now()
 	n.nextID++
 	if len(f.path) == 0 || size == 0 {
 		// Local or empty: delivered "instantly" but still via the event
 		// queue so callers observe a consistent ordering.
-		f.ev = n.eng.Schedule(0, func() { n.finish(f) })
+		f.ev = n.eng.Schedule(0, f.localFn)
 		return f
 	}
 	if n.latencyPerHop > 0 {
 		// Startup latency: the flow consumes no bandwidth until the path
 		// is established.
-		f.ev = n.eng.Schedule(n.latencyPerHop*float64(len(f.path)), func() { n.activate(f) })
+		f.ev = n.eng.Schedule(n.latencyPerHop*float64(len(f.path)), f.activateFn)
 		return f
 	}
 	n.activate(f)
 	return f
+}
+
+// newFlow pops a recycled Flow or builds a fresh one with its scheduling
+// closures bound. The closures capture the struct, not a transfer, so
+// they survive reuse.
+func (n *Network) newFlow() *Flow {
+	if len(n.pool) > 0 {
+		f := n.pool[len(n.pool)-1]
+		n.pool = n.pool[:len(n.pool)-1]
+		f.pooled = false
+		f.canceled = false
+		return f
+	}
+	f := &Flow{}
+	f.completeFn = func() { n.complete(f) }
+	f.localFn = func() { n.finishLocal(f) }
+	f.activateFn = func() { n.activate(f) }
+	return f
+}
+
+// release returns a finished or cancelled flow to the free list. Any
+// handle the caller still holds is dead from here on.
+func (n *Network) release(f *Flow) {
+	if f.pooled {
+		panic("netsim: flow released twice")
+	}
+	f.pooled = true
+	f.done = nil
+	f.path = nil
+	n.pool = append(n.pool, f)
 }
 
 // activate admits a flow to the bandwidth-sharing pool.
@@ -234,7 +275,6 @@ func (n *Network) activate(f *Flow) {
 	n.settle()
 	f.ev = desim.Event{} // any startup-latency event has fired by now
 	f.ord = len(n.ordered)
-	f.completeFn = func() { n.complete(f) }
 	n.flows[f.ID] = f
 	n.ordered = append(n.ordered, f)
 	for _, l := range f.path {
@@ -244,19 +284,30 @@ func (n *Network) activate(f *Flow) {
 }
 
 // Cancel aborts an in-flight transfer; its done callback never fires.
-// Bytes already moved remain accounted as link traffic.
+// Bytes already moved remain accounted as link traffic. The flow struct
+// is recycled: the handle must not be used (or Cancelled again) after
+// this returns.
 func (n *Network) Cancel(f *Flow) {
 	if f == nil || f.canceled {
 		return
 	}
 	f.canceled = true
+	pending := !f.ev.IsZero()
 	n.eng.Cancel(f.ev)
+	f.ev = desim.Event{}
 	if _, ok := n.flows[f.ID]; !ok {
+		if pending {
+			// Cancelled before activation (startup latency) or delivery
+			// (local transfer): the scheduled event will never fire, so
+			// recycle here.
+			n.release(f)
+		}
 		return
 	}
 	n.settle()
 	n.remove(f)
 	n.reflow(f.path)
+	n.release(f)
 }
 
 // ActiveFlows returns the number of in-flight (non-local) transfers.
@@ -550,6 +601,15 @@ func (n *Network) complete(f *Flow) {
 	n.remove(f)
 	n.reflow(f.path)
 	n.finish(f)
+	n.release(f)
+}
+
+// finishLocal delivers a zero-hop or zero-size transfer when its
+// scheduled event fires, then recycles the flow.
+func (n *Network) finishLocal(f *Flow) {
+	f.ev = desim.Event{}
+	n.finish(f)
+	n.release(f)
 }
 
 func (n *Network) remove(f *Flow) {

@@ -30,6 +30,8 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+
+	"chicsim/internal/intern"
 )
 
 // Kind is the metric type of a family.
@@ -94,8 +96,17 @@ type family struct {
 	labels  []string
 	buckets []float64 // histogram upper bounds, ascending, +Inf implicit
 
+	// Series storage, guarded by mu. Labels are almost always absent or a
+	// single value drawn from a small vocabulary, so the two common cases
+	// avoid string-keyed maps entirely: a label-less family has one series
+	// (solo), and a 1-label family interns the value to a dense id and
+	// indexes a slice with it. Only families with >= 2 labels fall back to
+	// joining the values into a map key.
 	mu       sync.Mutex
-	children map[string]*child
+	solo     *child            // len(labels) == 0
+	vals     intern.Table      // len(labels) == 1: value -> dense id
+	byID     []*child          // len(labels) == 1: dense id -> series
+	children map[string]*child // len(labels) >= 2, lazily allocated
 }
 
 // child is one (family, label-values) time series.
@@ -144,12 +155,11 @@ func (r *Registry) register(name, help string, kind Kind, labels []string, bucke
 		return f
 	}
 	f := &family{
-		name:     name,
-		help:     help,
-		kind:     kind,
-		labels:   append([]string(nil), labels...),
-		buckets:  append([]float64(nil), buckets...),
-		children: make(map[string]*child),
+		name:    name,
+		help:    help,
+		kind:    kind,
+		labels:  append([]string(nil), labels...),
+		buckets: append([]float64(nil), buckets...),
 	}
 	r.families = append(r.families, f)
 	r.byName[name] = f
@@ -184,18 +194,80 @@ func (f *family) child(values []string) *child {
 	if len(values) != len(f.labels) {
 		panic(fmt.Sprintf("registry: %q wants %d label values, got %d", f.name, len(f.labels), len(values)))
 	}
-	key := strings.Join(values, "\x00")
 	f.mu.Lock()
 	defer f.mu.Unlock()
-	if c := f.children[key]; c != nil {
+	switch len(f.labels) {
+	case 0:
+		if f.solo == nil {
+			f.solo = f.newChild(values)
+		}
+		return f.solo
+	case 1:
+		id := f.vals.Intern(values[0])
+		for int(id) >= len(f.byID) {
+			f.byID = append(f.byID, nil)
+		}
+		if c := f.byID[id]; c != nil {
+			return c
+		}
+		c := f.newChild(values)
+		f.byID[id] = c
+		return c
+	default:
+		key := strings.Join(values, "\x00")
+		if c := f.children[key]; c != nil {
+			return c
+		}
+		if f.children == nil {
+			f.children = make(map[string]*child)
+		}
+		c := f.newChild(values)
+		f.children[key] = c
 		return c
 	}
+}
+
+// newChild builds a series cell for the given label values. Caller holds
+// f.mu and is responsible for filing the child under its key.
+func (f *family) newChild(values []string) *child {
 	c := &child{labelVals: append([]string(nil), values...)}
 	if f.kind == HistogramKind {
 		c.hist = &histState{counts: make([]atomic.Uint64, len(f.buckets)+1)}
 	}
-	f.children[key] = c
 	return c
+}
+
+// series appends every live child to dst and returns it. Caller holds
+// f.mu. Order is unspecified; Gather sorts by label values afterwards.
+func (f *family) series(dst []*child) []*child {
+	if f.solo != nil {
+		dst = append(dst, f.solo)
+	}
+	for _, c := range f.byID {
+		if c != nil {
+			dst = append(dst, c)
+		}
+	}
+	for _, c := range f.children {
+		dst = append(dst, c)
+	}
+	return dst
+}
+
+// lookup returns the child for the given label values without creating
+// it, or nil. Caller holds f.mu; len(values) must equal len(f.labels).
+func (f *family) lookup(values []string) *child {
+	switch len(f.labels) {
+	case 0:
+		return f.solo
+	case 1:
+		if id, ok := f.vals.Lookup(values[0]); ok && int(id) < len(f.byID) {
+			return f.byID[id]
+		}
+		return nil
+	default:
+		return f.children[strings.Join(values, "\x00")]
+	}
 }
 
 // CounterVec is a counter family; With yields one labelled counter.
@@ -361,10 +433,7 @@ func (r *Registry) Gather() []Family {
 	for _, f := range fams {
 		gf := Family{Name: f.name, Help: f.help, Kind: f.kind, LabelNames: f.labels}
 		f.mu.Lock()
-		children := make([]*child, 0, len(f.children))
-		for _, c := range f.children {
-			children = append(children, c)
-		}
+		children := f.series(nil)
 		f.mu.Unlock()
 		sort.Slice(children, func(i, j int) bool {
 			return lessStrings(children[i].labelVals, children[j].labelVals)
@@ -404,9 +473,8 @@ func (r *Registry) Value(name string, labelValues ...string) (v float64, ok bool
 	if f == nil || f.kind == HistogramKind || len(labelValues) != len(f.labels) {
 		return 0, false
 	}
-	key := strings.Join(labelValues, "\x00")
 	f.mu.Lock()
-	c := f.children[key]
+	c := f.lookup(labelValues)
 	f.mu.Unlock()
 	if c == nil {
 		return 0, false

@@ -87,11 +87,15 @@ func (l LeastLoaded) Decide(g scheduler.GridView, self topology.SiteID, popular 
 func CandidateTargets(g scheduler.GridView, f storage.FileID, self topology.SiteID) []topology.SiteID {
 	cands := WithoutReplica(g, f, g.Topology().Siblings(self), self)
 	if len(cands) == 0 {
-		all := make([]topology.SiteID, 0, g.NumSites())
+		// Widen to the whole grid, filtering site ids directly — same
+		// order as materializing 0..NumSites-1 first, without the
+		// intermediate slice.
 		for s := 0; s < g.NumSites(); s++ {
-			all = append(all, topology.SiteID(s))
+			sid := topology.SiteID(s)
+			if sid != self && !g.HasReplica(f, sid) {
+				cands = append(cands, sid)
+			}
 		}
-		cands = WithoutReplica(g, f, all, self)
 	}
 	return cands
 }

@@ -21,18 +21,56 @@ func allSites(g scheduler.GridView) []topology.SiteID {
 	return out
 }
 
-func leastLoaded(g scheduler.GridView, candidates []topology.SiteID, tie *rng.Source) topology.SiteID {
-	best := candidates[:1]
+// fillAllSites refills buf with 0..NumSites-1, growing it only when
+// needed. Handing out a refilled buffer is equivalent to the historical
+// fresh allocation: leastLoaded's tie-set writes into it are overwritten
+// on the next fill.
+func fillAllSites(g scheduler.GridView, buf []topology.SiteID) []topology.SiteID {
+	n := g.NumSites()
+	if cap(buf) < n {
+		buf = make([]topology.SiteID, n)
+	}
+	buf = buf[:n]
+	for i := range buf {
+		buf[i] = topology.SiteID(i)
+	}
+	return buf
+}
+
+// leastLoaded picks the least-loaded candidate, breaking ties with one
+// rng.Pick draw. It reproduces the historical append-into-subslice tie
+// construction without allocating: while the running best set still
+// aliases candidates, ties are written into candidates[1:] — observable
+// (and recorded in golden runs) when candidates aliases a GIS snapshot —
+// and once a strictly lower load appears the set moves to *scratch (the
+// historical fresh allocation), after which candidates is never written
+// again.
+func leastLoaded(g scheduler.GridView, candidates []topology.SiteID, tie *rng.Source, scratch *[]topology.SiteID) topology.SiteID {
+	n := 1
+	aliased := true
 	bestLoad := g.Load(candidates[0])
-	for _, c := range candidates[1:] {
+	det := (*scratch)[:0]
+	for i := 1; i < len(candidates); i++ {
+		c := candidates[i]
 		l := g.Load(c)
 		switch {
 		case l < bestLoad:
 			bestLoad = l
-			best = []topology.SiteID{c}
+			aliased = false
+			det = append(det[:0], c)
 		case l == bestLoad:
-			best = append(best, c)
+			if aliased {
+				candidates[n] = c
+				n++
+			} else {
+				det = append(det, c)
+			}
 		}
+	}
+	*scratch = det
+	best := candidates[:n]
+	if !aliased {
+		best = det
 	}
 	if len(best) == 1 || tie == nil {
 		return best[0]
@@ -53,14 +91,19 @@ func (r Random) Place(g scheduler.GridView, _ *job.Job) topology.SiteID {
 
 // LeastLoaded sends each job to the site with the fewest jobs waiting to
 // run ("JobLeastLoaded"), breaking ties randomly.
-type LeastLoaded struct{ Src *rng.Source }
+type LeastLoaded struct {
+	Src *rng.Source
+
+	sites, ties []topology.SiteID // reused per-placement scratch
+}
 
 // Name implements scheduler.External.
-func (LeastLoaded) Name() string { return "JobLeastLoaded" }
+func (*LeastLoaded) Name() string { return "JobLeastLoaded" }
 
 // Place implements scheduler.External.
-func (l LeastLoaded) Place(g scheduler.GridView, _ *job.Job) topology.SiteID {
-	return leastLoaded(g, allSites(g), l.Src)
+func (l *LeastLoaded) Place(g scheduler.GridView, _ *job.Job) topology.SiteID {
+	l.sites = fillAllSites(g, l.sites)
+	return leastLoaded(g, l.sites, l.Src, &l.ties)
 }
 
 // Local always runs jobs at the submitting user's site ("JobLocal").
@@ -78,14 +121,34 @@ func (Local) Place(_ scheduler.GridView, j *job.Job) topology.SiteID { return j.
 // largest resident share of the job's input bytes. If no site holds any
 // input (impossible when masters exist; defensive fallback), it degrades
 // to least-loaded.
-type DataPresent struct{ Src *rng.Source }
+type DataPresent struct {
+	Src *rng.Source
+
+	sites, ties []topology.SiteID // reused per-placement scratch
+}
 
 // Name implements scheduler.External.
-func (DataPresent) Name() string { return "JobDataPresent" }
+func (*DataPresent) Name() string { return "JobDataPresent" }
 
 // Place implements scheduler.External.
-func (d DataPresent) Place(g scheduler.GridView, j *job.Job) topology.SiteID {
-	return leastLoaded(g, DataPresentCandidates(g, j), d.Src)
+func (d *DataPresent) Place(g scheduler.GridView, j *job.Job) topology.SiteID {
+	return leastLoaded(g, d.candidates(g, j), d.Src, &d.ties)
+}
+
+// candidates mirrors DataPresentCandidates but serves the hot single-input
+// case from reused scratch: the all-sites fallback refills a per-scheduler
+// buffer instead of allocating. Multi-input jobs delegate to the exported
+// (allocating) path.
+func (d *DataPresent) candidates(g scheduler.GridView, j *job.Job) []topology.SiteID {
+	if len(j.Inputs) == 1 {
+		reps := g.Replicas(j.Inputs[0])
+		if len(reps) == 0 {
+			d.sites = fillAllSites(g, d.sites)
+			return d.sites
+		}
+		return reps
+	}
+	return DataPresentCandidates(g, j)
 }
 
 // DataPresentCandidates returns, in deterministic order, the candidate
@@ -136,16 +199,21 @@ func DataPresentCandidates(g scheduler.GridView, j *job.Job) []topology.SiteID {
 // data (least-loaded such member wins), and otherwise run at the origin so
 // the fetched copy lands in-region for future jobs. It keeps computation
 // off the shared backbone without the full coupling of JobDataPresent.
-type Regional struct{ Src *rng.Source }
+type Regional struct {
+	Src *rng.Source
+
+	region, holders, ties []topology.SiteID // reused per-placement scratch
+}
 
 // Name implements scheduler.External.
-func (Regional) Name() string { return "JobRegional" }
+func (*Regional) Name() string { return "JobRegional" }
 
 // Place implements scheduler.External.
-func (r Regional) Place(g scheduler.GridView, j *job.Job) topology.SiteID {
-	region := append([]topology.SiteID{j.Origin}, g.Topology().Siblings(j.Origin)...)
-	var holders []topology.SiteID
-	for _, s := range region {
+func (r *Regional) Place(g scheduler.GridView, j *job.Job) topology.SiteID {
+	r.region = append(r.region[:0], j.Origin)
+	r.region = append(r.region, g.Topology().Siblings(j.Origin)...)
+	holders := r.holders[:0]
+	for _, s := range r.region {
 		hasAll := true
 		for _, f := range j.Inputs {
 			if !g.HasReplica(f, s) {
@@ -157,10 +225,11 @@ func (r Regional) Place(g scheduler.GridView, j *job.Job) topology.SiteID {
 			holders = append(holders, s)
 		}
 	}
+	r.holders = holders
 	if len(holders) == 0 {
 		return j.Origin
 	}
-	return leastLoaded(g, holders, r.Src)
+	return leastLoaded(g, holders, r.Src, &r.ties)
 }
 
 // BestCost is an extension: it estimates, for every site, the job's
@@ -174,20 +243,23 @@ type BestCost struct {
 	Src           *rng.Source
 	AvgComputeSec float64 // assumed mean compute time of a queued job
 	CEsPerSite    float64 // assumed processors per site
+
+	best []topology.SiteID // reused per-placement scratch
 }
 
 // Name implements scheduler.External.
-func (BestCost) Name() string { return "JobBestCost" }
+func (*BestCost) Name() string { return "JobBestCost" }
 
 // Place implements scheduler.External.
-func (b BestCost) Place(g scheduler.GridView, j *job.Job) topology.SiteID {
+func (b *BestCost) Place(g scheduler.GridView, j *job.Job) topology.SiteID {
 	ces := b.CEsPerSite
 	if ces <= 0 {
 		ces = 1
 	}
 	bestCost := -1.0
-	var best []topology.SiteID
-	for _, s := range allSites(g) {
+	best := b.best[:0]
+	for si := 0; si < g.NumSites(); si++ { // site-id order for determinism
+		s := topology.SiteID(si)
 		transfer := 0.0
 		for _, f := range j.Inputs {
 			if g.HasReplica(f, s) {
@@ -207,18 +279,19 @@ func (b BestCost) Place(g scheduler.GridView, j *job.Job) topology.SiteID {
 		switch {
 		case bestCost < 0 || cost < bestCost:
 			bestCost = cost
-			best = []topology.SiteID{s}
+			best = append(best[:0], s)
 		case cost == bestCost:
 			best = append(best, s)
 		}
 	}
+	b.best = best
 	if len(best) == 1 || b.Src == nil {
 		return best[0]
 	}
 	return rng.Pick(b.Src, best)
 }
 
-func (b BestCost) closestTransfer(g scheduler.GridView, f storage.FileID, to topology.SiteID) float64 {
+func (b *BestCost) closestTransfer(g scheduler.GridView, f storage.FileID, to topology.SiteID) float64 {
 	reps := g.Replicas(f)
 	if len(reps) == 0 {
 		return 0
@@ -246,13 +319,15 @@ type Adaptive struct {
 	// transfer time < PullFraction × compute time. The paper suggests no
 	// value; 0.5 is the documented default.
 	PullFraction float64
+
+	dp DataPresent // reused inner scheduler for the push decision
 }
 
 // Name implements scheduler.External.
-func (Adaptive) Name() string { return "JobAdaptive" }
+func (*Adaptive) Name() string { return "JobAdaptive" }
 
 // Place implements scheduler.External.
-func (a Adaptive) Place(g scheduler.GridView, j *job.Job) topology.SiteID {
+func (a *Adaptive) Place(g scheduler.GridView, j *job.Job) topology.SiteID {
 	frac := a.PullFraction
 	if frac <= 0 {
 		frac = 0.5
@@ -280,5 +355,6 @@ func (a Adaptive) Place(g scheduler.GridView, j *job.Job) topology.SiteID {
 	if pull < frac*j.ComputeTime {
 		return j.Origin
 	}
-	return DataPresent{Src: a.Src}.Place(g, j)
+	a.dp.Src = a.Src
+	return a.dp.Place(g, j)
 }

@@ -21,11 +21,11 @@ func TestNames(t *testing.T) {
 		want string
 	}{
 		{Random{Src: rng.New(1)}, "JobRandom"},
-		{LeastLoaded{Src: rng.New(1)}, "JobLeastLoaded"},
-		{DataPresent{Src: rng.New(1)}, "JobDataPresent"},
+		{&LeastLoaded{Src: rng.New(1)}, "JobLeastLoaded"},
+		{&DataPresent{Src: rng.New(1)}, "JobDataPresent"},
 		{Local{}, "JobLocal"},
-		{BestCost{}, "JobBestCost"},
-		{Adaptive{}, "JobAdaptive"},
+		{&BestCost{}, "JobBestCost"},
+		{&Adaptive{}, "JobAdaptive"},
 	} {
 		if c.s.Name() != c.want {
 			t.Errorf("Name = %q, want %q", c.s.Name(), c.want)
@@ -226,8 +226,8 @@ func TestDeterministicGivenSameStream(t *testing.T) {
 		var out []topology.SiteID
 		algs := []scheduler.External{
 			Random{Src: rng.New(42)},
-			LeastLoaded{Src: rng.New(42)},
-			DataPresent{Src: rng.New(42)},
+			&LeastLoaded{Src: rng.New(42)},
+			&DataPresent{Src: rng.New(42)},
 		}
 		for _, alg := range algs {
 			for i := 0; i < 50; i++ {

@@ -36,5 +36,8 @@ func (a AvoidFailed) Place(g scheduler.GridView, j *job.Job) topology.SiteID {
 			candidates = append(candidates, topology.SiteID(s))
 		}
 	}
-	return leastLoaded(g, candidates, a.Src)
+	// Retry fallback is cold (faulted runs only): a transient scratch is
+	// fine here.
+	var scratch []topology.SiteID
+	return leastLoaded(g, candidates, a.Src, &scratch)
 }

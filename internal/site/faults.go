@@ -4,9 +4,9 @@ import (
 	"fmt"
 	"sort"
 
+	"chicsim/internal/desim"
 	"chicsim/internal/job"
 	"chicsim/internal/storage"
-	"chicsim/internal/topology"
 )
 
 // This file holds the site's fault surface: whole-site crash/recovery,
@@ -43,18 +43,17 @@ func (s *Site) Crash(keepQueued bool) (running, dropped []*job.Job) {
 		return nil, nil
 	}
 	// Kill running jobs in deterministic job-id order.
-	ids := make([]job.ID, 0, len(s.running))
-	for id := range s.running {
-		ids = append(ids, id)
+	victims := append([]*job.Job(nil), s.running...)
+	sort.Slice(victims, func(i, j int) bool { return victims[i].ID < victims[j].ID })
+	for _, j := range victims {
+		s.eng.Cancel(j.RunEv)
+		j.RunEv = desim.Event{}
+		j.RunIdx = -1
+		s.release(j)
+		running = append(running, j)
 	}
-	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
-	for _, id := range ids {
-		ref := s.running[id]
-		s.eng.Cancel(ref.ev)
-		s.release(ref.j)
-		running = append(running, ref.j)
-	}
-	s.running = make(map[job.ID]runningRef)
+	clear(s.running)
+	s.running = s.running[:0]
 	s.setBusy(0)
 
 	// Queued jobs lose whatever data holds they had; their inputs will be
@@ -70,16 +69,24 @@ func (s *Site) Crash(keepQueued bool) (running, dropped []*job.Job) {
 
 	// In-flight fetch bookkeeping dies with the site; the core has
 	// already cancelled the underlying flows.
-	s.waiting = make(map[storage.FileID][]*job.Job)
-	s.fetching = make(map[storage.FileID]bool)
-	s.transient = make(map[storage.FileID]int)
+	for f, w := range s.waiting {
+		s.waitPool = append(s.waitPool, w[:0])
+		delete(s.waiting, f)
+	}
+	clear(s.fetching)
+	clear(s.transient)
 
-	// The DS's popularity window is lost with the site.
-	s.popularity = make(map[storage.FileID]int)
-	s.popByReq = make(map[storage.FileID]map[topology.SiteID]int)
+	// The DS's popularity window is lost with the site. The requester
+	// maps are reclaimable immediately: nothing was lent out.
+	clear(s.popularity)
+	for f, m := range s.popByReq {
+		clear(m)
+		s.reqPool = append(s.reqPool, m)
+		delete(s.popByReq, f)
+	}
 
-	if len(s.pinned) != 0 {
-		panic(fmt.Sprintf("site %d: crash with %d job pin sets left", s.id, len(s.pinned)))
+	if s.holds != 0 {
+		panic(fmt.Sprintf("site %d: crash with %d data holds left", s.id, s.holds))
 	}
 
 	// Scratch cache is gone: drop every cached (non-master) replica.
@@ -124,18 +131,17 @@ func (s *Site) FailCE() (*job.Job, bool) {
 	if s.busy <= s.ces-s.failedCEs {
 		return nil, true // a free CE absorbed the failure
 	}
-	victim := job.ID(-1)
-	for id := range s.running {
-		if id > victim {
-			victim = id
+	var victim *job.Job
+	for _, j := range s.running {
+		if victim == nil || j.ID > victim.ID {
+			victim = j
 		}
 	}
-	ref := s.running[victim]
-	delete(s.running, victim)
-	s.eng.Cancel(ref.ev)
+	s.eng.Cancel(victim.RunEv)
+	s.removeRunning(victim)
 	s.setBusy(s.busy - 1)
-	s.release(ref.j)
-	return ref.j, true
+	s.release(victim)
+	return victim, true
 }
 
 // RecoverCE returns one failed compute element to service. CE repairs
@@ -169,6 +175,6 @@ func (s *Site) RestartFetch(f storage.FileID) bool {
 		requester = ws[0].ID
 	}
 	size, _ := s.cat.Size(f)
-	s.mover.Fetch(f, src, s.id, requester, func() { s.fileArrived(f, size) })
+	s.mover.Fetch(f, src, s.id, requester, s.newArriveRec(f, size).fn)
 	return true
 }

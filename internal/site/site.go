@@ -56,14 +56,21 @@ type Site struct {
 	queue    []*job.Job
 	busy     int
 	waiting  map[storage.FileID][]*job.Job // queued jobs missing this file
+	waitPool [][]*job.Job                  // recycled waiter slices (cap reuse)
 	fetching map[storage.FileID]bool
 	// transient holds files that arrived for waiting jobs but could not be
 	// cached (capacity exhausted by pinned data). They live in a staging
 	// area, usable by the jobs that needed them, refcounted and discarded
 	// afterwards; they are not registered as grid replicas.
 	transient map[storage.FileID]int
-	pinned    map[job.ID][]pinRef   // refs held per job
-	running   map[job.ID]runningRef // jobs on CEs, with their completion events
+	holds     int        // outstanding data holds across all jobs here (leak check)
+	running   []*job.Job // jobs on CEs; each job's RunEv/RunIdx index into this
+
+	// Pooled completion/arrival records: the per-run and per-fetch
+	// callbacks are closures built once per record and recycled, so the
+	// steady-state execute and fetch paths allocate nothing.
+	runPool []*runRec
+	arrPool []*arriveRec
 
 	// Fault state (see faults.go). A down site accepts no work; failedCEs
 	// shrinks the schedulable CE count below the nominal ces.
@@ -72,6 +79,9 @@ type Site struct {
 
 	popularity map[storage.FileID]int
 	popByReq   map[storage.FileID]map[topology.SiteID]int
+	popBuf     []scheduler.PopularFile   // DrainPopularity output, reused per drain
+	lentReq    []map[topology.SiteID]int // ByRequester maps lent out until the next drain
+	reqPool    []map[topology.SiteID]int // cleared requester maps ready for reuse
 
 	onDone func(*job.Job)
 
@@ -104,8 +114,6 @@ func New(eng *desim.Engine, topo *topology.Topology, cat *catalog.Catalog, mover
 		waiting:    make(map[storage.FileID][]*job.Job),
 		fetching:   make(map[storage.FileID]bool),
 		transient:  make(map[storage.FileID]int),
-		pinned:     make(map[job.ID][]pinRef),
-		running:    make(map[job.ID]runningRef),
 		popularity: make(map[storage.FileID]int),
 		popByReq:   make(map[storage.FileID]map[topology.SiteID]int),
 		onDone:     onDone,
@@ -217,7 +225,15 @@ func (s *Site) arm(j *job.Job, record bool) {
 			s.acquire(j, f)
 			continue
 		}
-		s.waiting[f] = append(s.waiting[f], j)
+		w, ok := s.waiting[f]
+		if !ok {
+			if n := len(s.waitPool); n > 0 {
+				w = s.waitPool[n-1]
+				s.waitPool[n-1] = nil
+				s.waitPool = s.waitPool[:n-1]
+			}
+		}
+		s.waiting[f] = append(w, j)
 		if !s.fetching[f] {
 			s.startFetch(f, j.ID)
 		}
@@ -227,49 +243,78 @@ func (s *Site) arm(j *job.Job, record bool) {
 	}
 }
 
-// pinRef records which kind of hold a job took on an input: a storage pin
-// or a transient-staging refcount. The kind is fixed at acquire time so a
-// later state change (e.g. the file getting cached after being staged)
-// cannot unbalance the accounting.
-type pinRef struct {
-	file      storage.FileID
-	transient bool
-}
-
-// acquire pins (or transient-refs) a present input for a job.
+// acquire pins (or transient-refs) a present input for a job. The hold
+// kind is fixed at acquire time so a later state change (e.g. the file
+// getting cached after being staged) cannot unbalance the accounting.
+// Holds live on the job itself (job.Hold), so the bookkeeping recycles
+// with the job instead of churning a per-site map.
 func (s *Site) acquire(j *job.Job, f storage.FileID) {
-	ref := pinRef{file: f}
+	ref := job.Hold{File: f}
 	if s.store.Peek(f) {
 		if err := s.store.Pin(f); err != nil {
 			panic(err)
 		}
 	} else {
 		s.transient[f]++
-		ref.transient = true
+		ref.Transient = true
 	}
-	s.pinned[j.ID] = append(s.pinned[j.ID], ref)
+	j.Holds = append(j.Holds, ref)
+	s.holds++
 }
 
 func (s *Site) release(j *job.Job) {
-	for _, ref := range s.pinned[j.ID] {
-		if ref.transient {
-			s.transient[ref.file]--
-			if s.transient[ref.file] <= 0 {
-				delete(s.transient, ref.file)
+	for _, ref := range j.Holds {
+		if ref.Transient {
+			s.transient[ref.File]--
+			if s.transient[ref.File] <= 0 {
+				delete(s.transient, ref.File)
 			}
 			continue
 		}
-		if err := s.store.Unpin(ref.file); err != nil {
+		if err := s.store.Unpin(ref.File); err != nil {
 			panic(err)
 		}
-		s.store.Touch(ref.file) // refresh recency on use
+		s.store.Touch(ref.File) // refresh recency on use
 	}
-	delete(s.pinned, j.ID)
+	s.holds -= len(j.Holds)
+	j.Holds = j.Holds[:0]
 }
 
 // jobReady reports whether all of j's inputs are locally usable.
 func (s *Site) jobReady(j *job.Job) bool {
-	return len(s.pinned[j.ID]) == len(j.Inputs)
+	return len(j.Holds) == len(j.Inputs)
+}
+
+// arriveRec is a pooled arrival callback for mover fetches: the closure
+// is built once per record and captures the record, not the fetch, so a
+// site's steady-state fetch path allocates no per-fetch closures. The
+// record frees itself before delivering, making it reusable by any
+// cascading fetch the arrival triggers. A record whose fetch never
+// completes (transfer aborted by a fault) is simply dropped to the GC —
+// the same cost the old per-fetch closure paid on every fetch.
+type arriveRec struct {
+	s    *Site
+	f    storage.FileID
+	size float64
+	fn   func()
+}
+
+func (s *Site) newArriveRec(f storage.FileID, size float64) *arriveRec {
+	var r *arriveRec
+	if n := len(s.arrPool); n > 0 {
+		r = s.arrPool[n-1]
+		s.arrPool[n-1] = nil
+		s.arrPool = s.arrPool[:n-1]
+	} else {
+		r = &arriveRec{s: s}
+		r.fn = func() {
+			f, size := r.f, r.size
+			r.s.arrPool = append(r.s.arrPool, r)
+			r.s.fileArrived(f, size)
+		}
+	}
+	r.f, r.size = f, size
+	return r
 }
 
 // startFetch picks the closest replica source and asks the data mover to
@@ -282,7 +327,7 @@ func (s *Site) startFetch(f storage.FileID, requester job.ID) {
 	s.fetching[f] = true
 	s.fetchesStarted++
 	size, _ := s.cat.Size(f)
-	s.mover.Fetch(f, src, s.id, requester, func() { s.fileArrived(f, size) })
+	s.mover.Fetch(f, src, s.id, requester, s.newArriveRec(f, size).fn)
 }
 
 // fileArrived lands a file (from a fetch or a DS push). It caches the file
@@ -294,12 +339,11 @@ func (s *Site) fileArrived(f storage.FileID, size float64) {
 	delete(s.waiting, f)
 	if s.store.AddReplica(f, size) {
 		s.cat.Register(f, s.id)
-	} else {
-		if len(waiters) == 0 {
-			return // nowhere to cache it and nobody needs it
-		}
-		// Stage transiently for the jobs that are waiting.
+	} else if len(waiters) == 0 {
+		return // nowhere to cache it and nobody needs it
+		// (non-nil waiter slices are never empty, so nothing to recycle)
 	}
+	// Otherwise stage transiently for the jobs that are waiting.
 	now := s.eng.Now()
 	for _, j := range waiters {
 		if j.State == job.Done {
@@ -309,6 +353,9 @@ func (s *Site) fileArrived(f storage.FileID, size float64) {
 		if s.jobReady(j) && j.DataReady < 0 {
 			j.DataReady = now
 		}
+	}
+	if waiters != nil {
+		s.waitPool = append(s.waitPool, waiters[:0])
 	}
 	s.trySchedule()
 }
@@ -335,25 +382,63 @@ func (s *Site) trySchedule() {
 	}
 }
 
+// runRec is a pooled completion callback for job execution, recycled the
+// same way as arriveRec. A record whose completion event is cancelled by
+// a crash or CE failure is dropped to the GC.
+type runRec struct {
+	s  *Site
+	j  *job.Job
+	fn func()
+}
+
+func (s *Site) newRunRec(j *job.Job) *runRec {
+	var r *runRec
+	if n := len(s.runPool); n > 0 {
+		r = s.runPool[n-1]
+		s.runPool[n-1] = nil
+		s.runPool = s.runPool[:n-1]
+	} else {
+		r = &runRec{s: s}
+		r.fn = func() {
+			j := r.j
+			r.j = nil
+			r.s.runPool = append(r.s.runPool, r)
+			r.s.complete(j)
+		}
+	}
+	r.j = j
+	return r
+}
+
 func (s *Site) run(j *job.Job) {
 	if !s.jobReady(j) {
 		panic(fmt.Sprintf("site %d: scheduling job %d without its data", s.id, j.ID))
 	}
 	j.Advance(job.Running, s.eng.Now())
 	s.setBusy(s.busy + 1)
-	ev := s.eng.Schedule(j.ComputeTime/s.speed, func() { s.complete(j) })
-	s.running[j.ID] = runningRef{j: j, ev: ev}
+	j.RunEv = s.eng.Schedule(j.ComputeTime/s.speed, s.newRunRec(j).fn)
+	j.RunIdx = len(s.running)
+	s.running = append(s.running, j)
 }
 
-// runningRef tracks a job occupying a CE together with its completion
-// event, so a site crash or CE failure can kill it deterministically.
-type runningRef struct {
-	j  *job.Job
-	ev desim.Event
+// removeRunning takes a job off the CE list (swap-remove via its RunIdx
+// back-pointer) and clears its run bookkeeping.
+func (s *Site) removeRunning(j *job.Job) {
+	i := j.RunIdx
+	if i < 0 || i >= len(s.running) || s.running[i] != j {
+		panic(fmt.Sprintf("site %d: running index out of sync for job %d", s.id, j.ID))
+	}
+	last := len(s.running) - 1
+	s.running[i] = s.running[last]
+	s.running[i].RunIdx = i
+	s.running[last] = nil
+	s.running = s.running[:last]
+	j.RunIdx = -1
+	j.RunEv = desim.Event{}
 }
 
 func (s *Site) complete(j *job.Job) {
-	delete(s.running, j.ID)
+	s.removeRunning(j)
 	j.Advance(job.Done, s.eng.Now())
 	s.setBusy(s.busy - 1)
 	s.release(j)
@@ -369,7 +454,13 @@ func (s *Site) recordAccess(f storage.FileID, requester topology.SiteID) {
 	s.popularity[f]++
 	m := s.popByReq[f]
 	if m == nil {
-		m = make(map[topology.SiteID]int)
+		if n := len(s.reqPool); n > 0 {
+			m = s.reqPool[n-1]
+			s.reqPool[n-1] = nil
+			s.reqPool = s.reqPool[:n-1]
+		} else {
+			m = make(map[topology.SiteID]int)
+		}
 		s.popByReq[f] = m
 	}
 	m[requester]++
@@ -409,21 +500,45 @@ func (s *Site) CachedIdleFiles() []storage.FileID {
 // since the previous drain, restricted to files locally resident (the DS
 // "keeps track of the popularity of each dataset locally available"),
 // ordered most-popular first (ties by file id for determinism).
+//
+// The returned slice and the ByRequester maps inside it are reused
+// backing storage: they are valid until the next DrainPopularity call —
+// the DS wake that drains them consumes them synchronously.
 func (s *Site) DrainPopularity() []scheduler.PopularFile {
-	out := make([]scheduler.PopularFile, 0, len(s.popularity))
+	// The previous drain's ByRequester maps have been consumed by now;
+	// reclaim them for reuse.
+	for i, m := range s.lentReq {
+		clear(m)
+		s.reqPool = append(s.reqPool, m)
+		s.lentReq[i] = nil
+	}
+	s.lentReq = s.lentReq[:0]
+
+	out := s.popBuf[:0]
 	for f, n := range s.popularity {
 		if !s.store.Peek(f) {
 			continue
 		}
 		out = append(out, scheduler.PopularFile{File: f, Count: n, ByRequester: s.popByReq[f]})
 	}
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].Count != out[j].Count {
-			return out[i].Count > out[j].Count
+	// Insertion sort: file ids are unique, so (Count desc, File asc) is a
+	// total order and any sort yields the same result as sort.Slice did —
+	// without sort.Slice's per-call reflection allocations. Windows are
+	// small (files accessed at one site in one DS interval).
+	for i := 1; i < len(out); i++ {
+		for k := i; k > 0; k-- {
+			a, b := out[k-1], out[k]
+			if a.Count > b.Count || (a.Count == b.Count && a.File < b.File) {
+				break
+			}
+			out[k-1], out[k] = b, a
 		}
-		return out[i].File < out[j].File
-	})
-	s.popularity = make(map[storage.FileID]int)
-	s.popByReq = make(map[storage.FileID]map[topology.SiteID]int)
+	}
+	for _, m := range s.popByReq {
+		s.lentReq = append(s.lentReq, m)
+	}
+	clear(s.popByReq)
+	clear(s.popularity)
+	s.popBuf = out
 	return out
 }

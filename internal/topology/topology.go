@@ -49,6 +49,7 @@ type Topology struct {
 	siteNode []NodeID     // site -> leaf node
 	routes   [][][]LinkID // [srcSite][dstSite] -> ordered link path
 	hops     [][]int
+	siblings [][]SiteID // site -> same-parent sites, precomputed
 }
 
 // Config controls hierarchy construction.
@@ -204,6 +205,17 @@ func (t *Topology) computeRoutes() {
 			t.hops[a][b] = len(path)
 		}
 	}
+	t.siblings = make([][]SiteID, n)
+	for a := 0; a < n; a++ {
+		parent := t.nodes[t.siteNode[a]].Parent
+		var out []SiteID
+		for s, nid := range t.siteNode {
+			if s != a && t.nodes[nid].Parent == parent {
+				out = append(out, SiteID(s))
+			}
+		}
+		t.siblings[a] = out
+	}
 }
 
 // route climbs both endpoints to their lowest common ancestor, collecting
@@ -250,17 +262,9 @@ func (t *Topology) Hops(src, dst SiteID) int { return t.hops[src][dst] }
 
 // Siblings returns the sites that share src's regional parent, excluding
 // src itself. These are the "neighbors" used by the DataLeastLoaded dataset
-// scheduler.
-func (t *Topology) Siblings(src SiteID) []SiteID {
-	parent := t.nodes[t.siteNode[src]].Parent
-	var out []SiteID
-	for s, nid := range t.siteNode {
-		if SiteID(s) != src && t.nodes[nid].Parent == parent {
-			out = append(out, SiteID(s))
-		}
-	}
-	return out
-}
+// scheduler. The returned slice is precomputed and shared; callers must
+// not mutate it.
+func (t *Topology) Siblings(src SiteID) []SiteID { return t.siblings[src] }
 
 // IsBackbone reports whether the link connects the root to a regional
 // center (the shared top-tier links of the hierarchy).
